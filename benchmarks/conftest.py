@@ -1,0 +1,14 @@
+"""Benchmark configuration: figure benches run once (the workload is
+deterministic; statistical repetition adds nothing but wall-clock)."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

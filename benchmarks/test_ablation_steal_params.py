@@ -1,0 +1,53 @@
+"""Ablation: sensitivity of work stealing to chunk size and steal latency.
+
+DESIGN.md calls out steal granularity and communication cost as the two
+knobs behind work stealing's gap to repartitioning; this bench quantifies
+both on the med-cube workload.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, prm_workload
+from repro.core.parallel_prm import simulate_prm
+from repro.core.work_stealing import HybridPolicy
+from repro.runtime import ClusterTopology, WorkStealingSimulator
+
+
+def _connection_makespan(wl, P, steal_chunk, latency_remote):
+    topology = ClusterTopology(P, latency_remote=latency_remote)
+    costs = {rid: wl.region_work[rid].connect_cost for rid in wl.region_work}
+    from repro.partition.naive import partition_block
+
+    assignment = partition_block(wl.subdivision.graph, P)
+    sim = WorkStealingSimulator(
+        topology,
+        lambda t, p: costs[t],
+        steal_policy=HybridPolicy(),
+        steal_chunk=steal_chunk,
+        rng=np.random.default_rng(0),
+    )
+    return sim.run(assignment).makespan
+
+
+def run_ablation():
+    wl = prm_workload("med-cube", num_regions=3000, samples_per_region=8)
+    P = 192
+    rows = []
+    for chunk in (1, 2, 8, "half"):
+        for lat in (5.0, 10.0, 50.0):
+            rows.append([str(chunk), lat, f"{_connection_makespan(wl, P, chunk, lat):.0f}"])
+    print("\nAblation — steal chunk x remote latency (node-connection makespan)")
+    print(format_table(["chunk", "latency", "makespan"], rows))
+    return rows
+
+
+def test_ablation_steal_params(once):
+    rows = once(run_ablation)
+    makespans = {(r[0], r[1]): float(r[2]) for r in rows}
+    # Chunk=half at low latency should beat chunk=1 at high latency.
+    assert makespans[("half", 5.0)] <= makespans[("1", 50.0)]
+    # Higher latency does not help materially for a fixed chunk (steal
+    # timing is not perfectly monotone — a slower reply can perturb victim
+    # choice — so allow slack).
+    for chunk in ("1", "half"):
+        assert makespans[(chunk, 5.0)] <= makespans[(chunk, 50.0)] * 1.15

@@ -1,0 +1,31 @@
+"""Fig. 10: radial RRT with load balancing across environments."""
+
+from repro.bench import fig10_rrt_environments
+
+
+def _speedups(rows, strategy):
+    return {r.num_pes: r.speedup_vs_none for r in rows if r.strategy == strategy}
+
+
+def test_fig10_rrt_environments(once):
+    out = once(fig10_rrt_environments)
+    # Work stealing helps substantially in the cluttered environments at
+    # moderate scale, with the benefit shrinking at high PE counts.
+    for env in ("mixed", "mixed-30"):
+        best32 = max(_speedups(out[env], s)[32] for s in ("diffusive", "hybrid", "rand-8"))
+        assert best32 > 1.25, env
+        diff = _speedups(out[env], "diffusive")
+        assert diff[256] < diff[32] + 0.35, env
+    # In the free environment no strategy changes much.
+    for strat in ("diffusive", "hybrid", "rand-8"):
+        free = _speedups(out["free"], strat)
+        assert all(0.8 < s < 1.2 for s in free.values()), strat
+    # k-rays repartitioning (panel b) is never the clear winner at low-to-
+    # moderate scale: its weight is a poor predictor and it pays the probe.
+    repart = _speedups(out["mixed-30"], "repartition")
+    ws_best = {
+        P: max(_speedups(out["mixed-30"], s)[P] for s in ("diffusive", "hybrid", "rand-8"))
+        for P in repart
+    }
+    for P in (8, 32, 64):
+        assert repart[P] < ws_best[P], P

@@ -1,0 +1,16 @@
+"""Fig. 4(a): coefficient of variation in the model environment."""
+
+from repro.bench import fig4a_model_cov
+
+
+def test_fig4a_model_cov(once):
+    points = once(fig4a_model_cov)
+    # The greedy partition is never worse than naive, per the model ...
+    for p in points:
+        assert p.model_best <= p.model_imbalance + 1e-9
+    # ... and the experimental sampling run tracks the model's naive CoV.
+    for p in points:
+        if p.num_pes >= 8:
+            assert abs(p.experimental_imbalance - p.model_imbalance) < 0.15
+    # Rebalancing headroom shrinks as the work per PE gets coarse.
+    assert points[-1].model_best >= points[0].model_best

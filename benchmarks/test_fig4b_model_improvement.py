@@ -1,0 +1,14 @@
+"""Fig. 4(b): theoretical vs experimental vs runtime improvement."""
+
+from repro.bench import fig4b_model_improvement
+
+
+def test_fig4b_model_improvement(once):
+    out = once(fig4b_model_improvement)
+    for o in out:
+        # All three metrics agree on a real, positive improvement ...
+        assert o["theoretical"] > 0
+        assert o["experimental"] > 0
+        assert o["runtime"] > 0
+        # ... and the experimental run tracks the model's prediction.
+        assert abs(o["experimental"] - o["theoretical"]) < 20.0

@@ -1,0 +1,18 @@
+"""Fig. 5(a): PRM execution time with load balancing on med-cube."""
+
+from repro.bench import fig5a_prm_medcube_time
+
+
+def test_fig5a_prm_medcube_time(once):
+    rows = once(fig5a_prm_medcube_time)
+    by_pe = {}
+    for r in rows:
+        by_pe.setdefault(r.num_pes, {})[r.strategy] = r
+    for P, strat in by_pe.items():
+        # Every load balancing technique beats the baseline on med-cube.
+        for name in ("repartition", "hybrid", "rand-8"):
+            assert strat[name].speedup_vs_none > 1.2, (P, name)
+    # Strong scaling: the baseline itself gets faster with more PEs.
+    pes = sorted(by_pe)
+    for a, b in zip(pes, pes[1:]):
+        assert by_pe[b]["none"].total_time < by_pe[a]["none"].total_time

@@ -1,0 +1,12 @@
+"""Fig. 5(b): CoV of roadmap nodes per PE before/after repartitioning."""
+
+from repro.bench import fig5b_prm_cov
+
+
+def test_fig5b_prm_cov(once):
+    out = once(fig5b_prm_cov)
+    for o in out:
+        # Repartitioning substantially lowers the CoV at every PE count.
+        assert o["cov_after"] < o["cov_before"]
+    # The before-CoV does not shrink with PE count (imbalance persists).
+    assert out[-1]["cov_before"] >= 0.5 * out[0]["cov_before"]

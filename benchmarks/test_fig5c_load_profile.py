@@ -1,0 +1,20 @@
+"""Fig. 5(c): per-PE load distribution at 192 PEs."""
+
+import numpy as np
+
+from repro.bench import fig5c_load_profile
+
+
+def test_fig5c_load_profile(once):
+    out = once(fig5c_load_profile)
+    without = out["without_lb"]
+    repart = out["repartitioned"]
+    ideal = out["ideal"]
+    # Node conservation: LB moves nodes, never creates or destroys them.
+    assert np.isclose(without.sum(), repart.sum())
+    assert np.isclose(ideal.sum(), repart.sum())
+    # Repartitioning pulls the maximum toward the ideal line.
+    assert repart.max() < without.max()
+    assert repart.max() <= 1.6 * ideal[0]
+    # The unbalanced run has a wide spread.
+    assert without.max() > 1.5 * ideal[0]

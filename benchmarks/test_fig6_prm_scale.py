@@ -1,0 +1,16 @@
+"""Fig. 6: PRM med-cube at scale (384-3,072 PEs)."""
+
+from repro.bench import fig6_prm_scale
+
+
+def test_fig6_prm_scale(once):
+    rows = once(fig6_prm_scale)
+    by_pe = {}
+    for r in rows:
+        by_pe.setdefault(r.num_pes, {})[r.strategy] = r
+    pes = sorted(by_pe)
+    # Repartitioning keeps winning at scale ...
+    for P in pes[:-1]:
+        assert by_pe[P]["repartition"].speedup_vs_none > 1.2
+    # ... though the benefit shrinks as regions-per-PE drop.
+    assert by_pe[pes[-1]]["repartition"].speedup_vs_none < by_pe[pes[0]]["repartition"].speedup_vs_none + 1.0

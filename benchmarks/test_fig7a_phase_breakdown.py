@@ -1,0 +1,18 @@
+"""Fig. 7(a): phase breakdown of parallel PRM."""
+
+from repro.bench import fig7a_phase_breakdown
+
+
+def test_fig7a_phase_breakdown(once):
+    out = once(fig7a_phase_breakdown)
+    by = {o["strategy"]: o for o in out}
+    none = by["none"]
+    # Node connection dominates the unbalanced run.
+    assert none["node_connection"] > none["other"]
+    assert none["node_connection"] > 0.3 * none["total"]
+    # Load balancing cuts node-connection time.
+    for name in ("repartition", "hybrid", "rand-8"):
+        assert by[name]["node_connection"] < none["node_connection"]
+    # Repartitioning pays for it with more region-connection time than the
+    # work-stealing runs (edge-cut growth) at equal or better total.
+    assert by["repartition"]["total"] < none["total"]

@@ -1,0 +1,14 @@
+"""Fig. 7(b): remote accesses in region connection."""
+
+from repro.bench import fig7b_remote_accesses
+
+
+def test_fig7b_remote_accesses(once):
+    out = once(fig7b_remote_accesses)
+    by = {o["strategy"]: o for o in out}
+    # Repartitioning raises remote accesses into both pGraphs (edge cut).
+    assert by["repartition"]["region_graph"] > by["none"]["region_graph"]
+    assert by["repartition"]["roadmap_graph"] > by["none"]["roadmap_graph"]
+    # The roadmap graph sees far more traffic than the region graph.
+    for o in out:
+        assert o["roadmap_graph"] > o["region_graph"]

@@ -1,0 +1,24 @@
+"""Fig. 8: PRM across med-cube / small-cube / free environments."""
+
+from repro.bench import fig8_prm_environments
+
+
+def _speedups(rows, strategy):
+    return {r.num_pes: r.speedup_vs_none for r in rows if r.strategy == strategy}
+
+
+def test_fig8_prm_environments(once):
+    out = once(fig8_prm_environments)
+    med = _speedups(out["med-cube"], "repartition")
+    small = _speedups(out["small-cube"], "repartition")
+    free = _speedups(out["free"], "repartition")
+    for P in med:
+        # Benefit ordering follows the amount of imbalance ...
+        assert med[P] > 1.3
+        assert small[P] > 1.05
+        # ... and the free environment shows no significant overhead.
+        assert free[P] > 0.85
+    # Work stealing also helps in the imbalanced environments.
+    for name in ("hybrid", "rand-8"):
+        ws = _speedups(out["med-cube"], name)
+        assert all(s > 1.15 for s in ws.values()), name

@@ -1,0 +1,22 @@
+"""Fig. 9: stolen vs locally executed tasks per PE (HYBRID WS)."""
+
+import numpy as np
+
+from repro.bench import fig9_steal_distribution
+
+
+def test_fig9_steal_distribution(once):
+    out = once(fig9_steal_distribution)
+    small_p, large_p = sorted(out)
+    small, large = out[small_p], out[large_p]
+    # Work stealing actually moves work at both scales.
+    assert small["stolen"].sum() > 0
+    assert large["stolen"].sum() > 0
+    # At the small scale a substantial share of PEs find work to steal;
+    # at the large scale the per-PE stolen share does not grow (work per
+    # PE shrinks while the victim pool grows) — the paper's observation.
+    frac_small = float(np.mean(small["stolen"] > 0))
+    assert frac_small > 0.2
+    share_small = small["stolen"].sum() / (small["stolen"] + small["non_stolen"]).sum()
+    share_large = large["stolen"].sum() / (large["stolen"] + large["non_stolen"]).sum()
+    assert share_large <= share_small + 0.05

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: build a roadmap, answer a motion-planning query, then run
+the same problem through the load-balanced parallel PRM on a simulated
+768-core machine.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import build_prm_workload, simulate_prm
+from repro.cspace import EuclideanCSpace
+from repro.geometry import med_cube
+from repro.planners import PRM, RoadmapQuery
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    # 1. Sequential planning: PRM + query in the paper's med-cube world.
+    # ------------------------------------------------------------------
+    env = med_cube()
+    print(f"Environment: {env}")
+    cspace = EuclideanCSpace(env)
+
+    planner = PRM(cspace, k=6)
+    result = planner.build(600, rng)
+    print(f"Sequential PRM: {result.roadmap} "
+          f"({result.stats.lp_calls} local plans, "
+          f"{result.stats.sample_attempts} sample attempts)")
+
+    start = np.array([-9.0, -9.0, -9.0])
+    goal = np.array([9.0, 9.0, 9.0])
+    query = RoadmapQuery(cspace).solve(result.roadmap, start, goal)
+    if query is None:
+        print("Query failed — try more samples.")
+    else:
+        print(f"Query solved: {len(query.path_vertices)} waypoints, "
+              f"length {query.length:.1f}")
+
+    # ------------------------------------------------------------------
+    # 2. Parallel planning: uniform subdivision + load balancing on a
+    #    simulated cluster (virtual time from real planner work).
+    # ------------------------------------------------------------------
+    print("\nBuilding the regional workload (real planning, done once)...")
+    workload = build_prm_workload(cspace, num_regions=1500, samples_per_region=6, seed=1)
+    print(f"  {workload.num_regions} regions, {workload.roadmap.num_vertices} roadmap nodes")
+
+    rows = []
+    for strategy in ("none", "repartition", "hybrid", "rand-8"):
+        run = simulate_prm(workload, 768, strategy)
+        rows.append(
+            [
+                strategy,
+                f"{run.total_time:.0f}",
+                f"{run.phases.node_connection:.0f}",
+                f"{run.phases.region_connection:.0f}",
+                f"{rows[0][1] if rows else run.total_time}",
+            ]
+        )
+    base = float(rows[0][1])
+    for row in rows:
+        row[-1] = f"{base / float(row[1]):.2f}x"
+    print("\nParallel PRM on a simulated 768-core machine:")
+    print(format_table(["strategy", "virtual time", "node conn", "region conn", "speedup"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Actual wall-clock speedup on your machine.
+
+The simulator answers "how would this scale to 3,072 cores?"; this example
+shows the other side: regional roadmap construction is embarrassingly
+parallel, so a thread pool with dynamic dispatch (the shared-memory
+analogue of work stealing) gives real speedups on a laptop.
+
+Run:  python examples/true_parallel_speedup.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.cspace import EuclideanCSpace
+from repro.geometry import AABB, med_cube
+from repro.planners import PRM
+from repro.runtime import run_tasks_parallel
+from repro.subdivision import UniformSubdivision
+
+ENV = med_cube()
+CSPACE = EuclideanCSpace(ENV)
+SUBDIVISION = UniformSubdivision(ENV.bounds, 256, overlap=0.1)
+SAMPLES_PER_REGION = 40
+
+
+def build_region(rid: int):
+    """The per-region work: a real regional PRM build."""
+    region = SUBDIVISION.region_of(rid)
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=7, spawn_key=(rid,)))
+    planner = PRM(CSPACE, k=5, connect_same_component=False)
+    result = planner.build(
+        SAMPLES_PER_REGION, rng, within=region.sample_bounds, id_base=rid << 20
+    )
+    return result.roadmap.num_vertices, result.roadmap.num_edges
+
+
+def main() -> None:
+    region_ids = SUBDIVISION.graph.region_ids()
+    print(f"{len(region_ids)} regions x {SAMPLES_PER_REGION} samples, med-cube\n")
+    rows = []
+    serial_time = None
+    for workers in (1, 2, 4, 8):
+        out = run_tasks_parallel(build_region, region_ids, workers=workers, backend="thread")
+        if serial_time is None:
+            serial_time = out.wall_time
+        vertices = sum(v for v, _e in out.results.values())
+        rows.append(
+            [
+                workers,
+                f"{out.wall_time:.2f}s",
+                f"{serial_time / out.wall_time:.2f}x",
+                vertices,
+            ]
+        )
+    print(format_table(["workers", "wall time", "speedup", "roadmap nodes"], rows))
+    print(
+        "\n(NumPy releases the GIL inside collision kernels, so even the "
+        "thread backend scales; use backend='process' for fully Python-bound "
+        "workloads.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

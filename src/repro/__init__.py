@@ -1,0 +1,33 @@
+"""repro — Load-balanced scalable parallel sampling-based motion planning.
+
+A reproduction of Fidel, Jacobs, Sharma, Amato & Rauchwerger,
+"Using Load Balancing to Scalably Parallelize Sampling-Based Motion
+Planning Algorithms" (IPDPS 2014).
+
+Packages
+--------
+``repro.geometry``
+    Workspace primitives, benchmark environments, vectorised collision.
+``repro.cspace``
+    Configuration spaces, samplers, local planners.
+``repro.knn``
+    Interchangeable nearest-neighbour backends.
+``repro.planners``
+    Sequential PRM / RRT, roadmap graph, queries.
+``repro.subdivision``
+    Uniform grid and radial region graphs.
+``repro.runtime``
+    Simulated distributed-memory machine (the STAPL stand-in) and a true
+    multiprocessing backend.
+``repro.partition``
+    Region-graph partitioners and quality metrics.
+``repro.core``
+    The paper's contribution: load-balanced parallel PRM / RRT, work
+    stealing policies, repartitioning, and the theoretical model.
+``repro.bench``
+    Drivers that regenerate every figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,45 @@
+"""Benchmark harness: workload caching and per-figure drivers."""
+
+from .figures import (
+    fig4a_model_cov,
+    fig4b_model_improvement,
+    fig5a_prm_medcube_time,
+    fig5b_prm_cov,
+    fig5c_load_profile,
+    fig6_prm_scale,
+    fig7a_phase_breakdown,
+    fig7b_remote_accesses,
+    fig8_prm_environments,
+    fig9_steal_distribution,
+    fig10_rrt_environments,
+)
+from .harness import (
+    PRM_STRATEGIES,
+    RRT_STRATEGIES,
+    format_table,
+    prm_scaling_table,
+    prm_workload,
+    rrt_scaling_table,
+    rrt_workload,
+)
+
+__all__ = [
+    "fig4a_model_cov",
+    "fig4b_model_improvement",
+    "fig5a_prm_medcube_time",
+    "fig5b_prm_cov",
+    "fig5c_load_profile",
+    "fig6_prm_scale",
+    "fig7a_phase_breakdown",
+    "fig7b_remote_accesses",
+    "fig8_prm_environments",
+    "fig9_steal_distribution",
+    "fig10_rrt_environments",
+    "PRM_STRATEGIES",
+    "RRT_STRATEGIES",
+    "format_table",
+    "prm_scaling_table",
+    "prm_workload",
+    "rrt_scaling_table",
+    "rrt_workload",
+]

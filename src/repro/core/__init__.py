@@ -1,0 +1,70 @@
+"""The paper's contribution: load-balanced parallel PRM and RRT."""
+
+from .metrics import (
+    coefficient_of_variation,
+    ideal_loads,
+    max_load_reduction,
+    percent_improvement,
+    speedup,
+)
+from .model import ModelEnvironmentAnalysis, ModelPoint
+from .parallel_prm import (
+    AdjacencyWork,
+    PhaseTimes,
+    PRMRunResult,
+    PRMWorkload,
+    RegionWork,
+    build_prm_workload,
+    simulate_prm,
+)
+from .parallel_rrt import (
+    BranchAdjacencyWork,
+    BranchWork,
+    RRTPhaseTimes,
+    RRTRunResult,
+    RRTWorkload,
+    build_rrt_workload,
+    simulate_rrt,
+)
+from .repartition import RepartitionResult, repartition
+from .weights import (
+    prm_free_volume_weights,
+    prm_sample_count_weights,
+    rrt_k_rays_weights,
+    uniform_weights,
+)
+from .work_stealing import DiffusivePolicy, HybridPolicy, RandKPolicy, policy_by_name
+
+__all__ = [
+    "coefficient_of_variation",
+    "ideal_loads",
+    "max_load_reduction",
+    "percent_improvement",
+    "speedup",
+    "ModelEnvironmentAnalysis",
+    "ModelPoint",
+    "AdjacencyWork",
+    "PhaseTimes",
+    "PRMRunResult",
+    "PRMWorkload",
+    "RegionWork",
+    "build_prm_workload",
+    "simulate_prm",
+    "BranchAdjacencyWork",
+    "BranchWork",
+    "RRTPhaseTimes",
+    "RRTRunResult",
+    "RRTWorkload",
+    "build_rrt_workload",
+    "simulate_rrt",
+    "RepartitionResult",
+    "repartition",
+    "prm_free_volume_weights",
+    "prm_sample_count_weights",
+    "rrt_k_rays_weights",
+    "uniform_weights",
+    "DiffusivePolicy",
+    "HybridPolicy",
+    "RandKPolicy",
+    "policy_by_name",
+]

@@ -1,0 +1,440 @@
+"""Uniform-subdivision parallel PRM with load balancing (Algorithms 1, 3, 4).
+
+The computation has four phases, mirroring the paper's breakdown (Fig. 7a):
+
+1. **Region construction** — subdivide C-space, build the region graph.
+2. **Node generation** — sample valid configurations per region (cheap).
+3. **Node connection** — connect samples within each region via k-NN +
+   local planning.  This is ~90% of the total time and the target of load
+   balancing: *repartitioning* moves regions before the phase using
+   sample-count weights; *work stealing* migrates regions during it.
+4. **Region connection** — connect roadmaps of adjacent regions; pays
+   remote accesses when adjacent regions live on different PEs.
+
+The expensive part — actually running the sequential planner in every
+region — is done once (:func:`build_prm_workload`) against the real
+geometry; the per-strategy machine behaviour is then replayed through the
+virtual-time simulator (:func:`simulate_prm`), so a whole strong-scaling
+sweep reuses one workload.  Regional randomness is keyed on
+``(seed, region id)``, making workloads reproducible and strategy
+comparisons exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cspace.local_planner import StraightLinePlanner
+from ..cspace.space import ConfigurationSpace
+from ..geometry.primitives import AABB
+from ..planners.prm import PRM
+from ..planners.roadmap import Roadmap
+from ..planners.stats import PlannerStats, WorkModel
+from ..runtime.pgraph import PGraphView
+from ..runtime.simulator import WorkStealingSimulator, run_static_phase
+from ..runtime.stats import SimResult
+from ..runtime.termination import detection_delay_tree
+from ..runtime.topology import ClusterTopology
+from ..subdivision.uniform import UniformSubdivision
+from .repartition import RepartitionResult, repartition
+from .weights import prm_sample_count_weights
+from .work_stealing import policy_by_name
+
+__all__ = [
+    "RegionWork",
+    "AdjacencyWork",
+    "PRMWorkload",
+    "PhaseTimes",
+    "PRMRunResult",
+    "build_prm_workload",
+    "simulate_prm",
+]
+
+#: Vertex-id stride: region ``r`` owns ids ``[r << ID_SHIFT, (r+1) << ID_SHIFT)``.
+ID_SHIFT = 20
+
+
+@dataclass
+class RegionWork:
+    """Measured work of one region's sequential PRM invocation."""
+
+    rid: int
+    gen_cost: float
+    connect_cost: float
+    num_samples: int
+    stats: PlannerStats
+
+
+@dataclass
+class AdjacencyWork:
+    """Measured work of connecting one pair of adjacent regional roadmaps."""
+
+    a: int
+    b: int
+    cost: float
+    #: roadmap vertices of region ``b`` read while connecting (remote reads
+    #: when ``b`` lives on another PE).
+    vertex_reads: int
+    edges_added: int
+
+
+@dataclass
+class PRMWorkload:
+    """Everything :func:`simulate_prm` needs, computed once per problem."""
+
+    cspace: ConfigurationSpace
+    subdivision: UniformSubdivision
+    region_work: "dict[int, RegionWork]"
+    adjacency_work: "list[AdjacencyWork]"
+    roadmap: Roadmap
+    #: positional coordinates of every generated sample.
+    sample_positions: np.ndarray
+    work_model: WorkModel
+    seed: int
+
+    @property
+    def num_regions(self) -> int:
+        return self.subdivision.num_regions
+
+    def total_connect_work(self) -> float:
+        return sum(w.connect_cost for w in self.region_work.values())
+
+    def sample_count_weights(self) -> "dict[int, float]":
+        return prm_sample_count_weights(self.subdivision, self.sample_positions)
+
+
+@dataclass
+class PhaseTimes:
+    """Virtual seconds per phase (the Fig. 7a breakdown)."""
+
+    region_construction: float = 0.0
+    node_generation: float = 0.0
+    node_connection: float = 0.0
+    region_connection: float = 0.0
+    lb_overhead: float = 0.0
+    termination: float = 0.0
+
+    @property
+    def other(self) -> float:
+        return (
+            self.region_construction + self.node_generation + self.lb_overhead + self.termination
+        )
+
+    @property
+    def total(self) -> float:
+        return self.other + self.node_connection + self.region_connection
+
+
+@dataclass
+class PRMRunResult:
+    """One (strategy, machine size) execution of parallel PRM."""
+
+    strategy: str
+    num_pes: int
+    phases: PhaseTimes
+    #: per-PE virtual work in the node-connection phase.
+    connection_loads: np.ndarray
+    #: roadmap nodes per PE under the ownership used for connection.
+    nodes_per_pe: np.ndarray
+    #: nodes per PE under the *initial* (pre-LB) ownership.
+    nodes_per_pe_before: np.ndarray
+    #: region-connection remote access tallies.
+    region_graph_remote: int
+    roadmap_graph_remote: int
+    #: simulator output of the node-connection phase (steal stats etc.).
+    connection_sim: SimResult
+    repartition_info: "RepartitionResult | None" = None
+
+    @property
+    def total_time(self) -> float:
+        return self.phases.total
+
+
+# ---------------------------------------------------------------------------
+# Workload construction (real planning, done once)
+# ---------------------------------------------------------------------------
+
+def _positional_bounds(cspace: ConfigurationSpace) -> AABB:
+    dims = list(cspace.positional_dims)
+    return AABB(cspace.bounds.lo[dims], cspace.bounds.hi[dims])
+
+
+def _region_sample_box(cspace: ConfigurationSpace, region_box: AABB) -> AABB:
+    """Lift a positional region box to full C-space bounds (non-positional
+    dimensions keep their full range)."""
+    lo = cspace.bounds.lo.copy()
+    hi = cspace.bounds.hi.copy()
+    dims = list(cspace.positional_dims)
+    lo[dims] = region_box.lo
+    hi[dims] = region_box.hi
+    return AABB(lo, hi)
+
+
+def build_prm_workload(
+    cspace: ConfigurationSpace,
+    num_regions: int,
+    samples_per_region: int = 8,
+    k: int = 4,
+    k_inter: int = 2,
+    overlap: float = 0.2,
+    seed: int = 0,
+    work_model: WorkModel | None = None,
+    lp_resolution: float = 0.1,
+    sampler=None,
+    narrow_passage_boost: float = 3.0,
+) -> PRMWorkload:
+    """Run the real regional planners once and record their work.
+
+    ``samples_per_region`` is the per-region sample budget (the paper's
+    strong-scaling experiments fix total samples ``N`` and regions ``Nr``,
+    so ``N / Nr`` is this number).
+
+    ``narrow_passage_boost`` controls adaptive refinement: a region that
+    straddles an obstacle surface (a potential narrow passage) receives
+    ``boost * samples_per_region`` *additional* samples.  This is the
+    standard adaptive narrow-passage strategy and reproduces the paper's
+    workload heterogeneity — its narrow-passage environments concentrate
+    sampling and connection work in the boundary regions, which is
+    precisely the load imbalance the paper's techniques attack.  Set it
+    to 0 for uniform effort.
+    """
+    if narrow_passage_boost < 0:
+        raise ValueError("narrow_passage_boost must be non-negative")
+    work_model = work_model or WorkModel()
+    pos_bounds = _positional_bounds(cspace)
+    subdivision = UniformSubdivision(pos_bounds, num_regions, overlap=overlap)
+    planner = PRM(
+        cspace,
+        sampler=sampler,
+        local_planner=StraightLinePlanner(resolution=lp_resolution),
+        k=k,
+        connect_same_component=False,
+    )
+    env = cspace.env
+    boost_samples = int(round(narrow_passage_boost * samples_per_region))
+
+    region_work: "dict[int, RegionWork]" = {}
+    roadmap = Roadmap(cspace.dim)
+    vertex_ids_of: "dict[int, np.ndarray]" = {}
+    position_chunks: "list[np.ndarray]" = []
+
+    for rid in subdivision.graph.region_ids():
+        region = subdivision.region_of(rid)
+        rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
+        within = _region_sample_box(cspace, region.sample_bounds)
+        # Each regional roadmap is built independently (the whole point of
+        # uniform subdivision) and merged afterwards.
+        result = planner.build(samples_per_region, rng, within=within, id_base=rid << ID_SHIFT)
+        st = result.stats
+        if boost_samples and env.box_obstacle_relation(region.bounds) == "boundary":
+            refined = planner.build(
+                boost_samples,
+                rng,
+                within=within,
+                roadmap=result.roadmap,
+                id_base=rid << ID_SHIFT,
+            )
+            st = st.merge(refined.stats)
+        gen_cost = work_model.cost_sample_attempt * st.sample_attempts
+        connect_cost = (
+            work_model.cost_lp_check * st.lp_checks
+            + work_model.cost_nn_eval * st.nn_distance_evals
+            + work_model.cost_fixed_per_call * st.lp_calls
+        )
+        region_work[rid] = RegionWork(rid, gen_cost, connect_cost, st.samples_accepted, st)
+        ids, cfgs = result.roadmap.configs_array()
+        vertex_ids_of[rid] = ids
+        if cfgs.size:
+            position_chunks.append(cfgs[:, list(cspace.positional_dims)])
+        roadmap.merge(result.roadmap)
+
+    positions_arr = (
+        np.vstack(position_chunks) if position_chunks else np.empty((0, pos_bounds.dim))
+    )
+
+    # Inter-region connections only involve vertices near the shared
+    # boundary (that is what the sampling overlap exists for); attempting
+    # all pairs would let region connection dwarf node connection,
+    # inverting the paper's Fig. 7a profile.
+    cell = subdivision.bounds.extents / np.asarray(subdivision.shape, dtype=float)
+    boundary_reach = 0.5 * float(cell.max())
+    pos_dims = list(cspace.positional_dims)
+    positions_of = {
+        rid: (
+            np.stack([roadmap.config(int(i))[pos_dims] for i in vertex_ids_of[rid]])
+            if vertex_ids_of[rid].size
+            else np.empty((0, len(pos_dims)))
+        )
+        for rid in subdivision.graph.region_ids()
+    }
+
+    max_boundary_vertices = 2 * samples_per_region
+    adjacency_work: "list[AdjacencyWork]" = []
+    for a, b in sorted(subdivision.graph.edges()):
+        box_a = subdivision.region_of(a).bounds
+        box_b = subdivision.region_of(b).bounds
+        dist_to_b = box_b.distance(positions_of[a])
+        dist_to_a = box_a.distance(positions_of[b])
+        near_b = vertex_ids_of[a][dist_to_b <= boundary_reach]
+        near_a = vertex_ids_of[b][dist_to_a <= boundary_reach]
+        # Cap boundary sets at the nearest few vertices so inter-region
+        # connection stays the minor phase it is in the paper (Fig. 7a).
+        if near_b.size > max_boundary_vertices:
+            order = np.argsort(dist_to_b[dist_to_b <= boundary_reach], kind="stable")
+            near_b = near_b[order[:max_boundary_vertices]]
+        if near_a.size > max_boundary_vertices:
+            order = np.argsort(dist_to_a[dist_to_a <= boundary_reach], kind="stable")
+            near_a = near_a[order[:max_boundary_vertices]]
+        if near_b.size == 0 or near_a.size == 0:
+            adjacency_work.append(AdjacencyWork(a, b, 0.0, 0, 0))
+            continue
+        st = planner.connect_roadmaps(roadmap, near_b, near_a, k=k_inter)
+        cost = (
+            work_model.cost_lp_check * st.lp_checks
+            + work_model.cost_nn_eval * st.nn_distance_evals
+            + work_model.cost_fixed_per_call * st.lp_calls
+        )
+        # Each NN structure build + LP endpoint read touches b's vertices.
+        vertex_reads = int(near_a.size + st.lp_calls)
+        adjacency_work.append(AdjacencyWork(a, b, cost, vertex_reads, st.edges_added))
+
+    return PRMWorkload(
+        cspace=cspace,
+        subdivision=subdivision,
+        region_work=region_work,
+        adjacency_work=adjacency_work,
+        roadmap=roadmap,
+        sample_positions=positions_arr,
+        work_model=work_model,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Machine simulation (replayed per strategy / PE count)
+# ---------------------------------------------------------------------------
+
+#: Virtual cost of creating one region descriptor (phase 1 is trivially
+#: parallel and tiny; this keeps it visible but small, as in Fig. 7a).
+REGION_CREATE_COST = 0.05
+
+
+def _naive_assignment(workload: PRMWorkload, num_pes: int) -> "dict[int, int]":
+    """Balanced contiguous blocks of the row-major region mesh — the
+    paper's naive 1-D mapping ("a balanced number of region columns"),
+    generalised to PE counts exceeding the column count."""
+    from ..partition.naive import partition_block
+
+    return partition_block(workload.subdivision.graph, num_pes)
+
+
+def simulate_prm(
+    workload: PRMWorkload,
+    num_pes: int,
+    strategy: str = "none",
+    topology: ClusterTopology | None = None,
+    steal_chunk: "str | int" = "half",
+    rng_seed: int = 12345,
+) -> PRMRunResult:
+    """Replay the workload on a virtual machine of ``num_pes`` PEs.
+
+    ``strategy`` is one of ``"none"``, ``"repartition"``, ``"rand-8"``
+    (or ``"rand-k"``), ``"diffusive"``, ``"hybrid"``.
+    """
+    topology = topology or ClusterTopology(num_pes)
+    if topology.num_pes != num_pes:
+        raise ValueError("topology PE count mismatch")
+    phases = PhaseTimes()
+    naive = _naive_assignment(workload, num_pes)
+    region_ids = workload.subdivision.graph.region_ids()
+
+    # Phase 1: region construction (embarrassingly parallel, tiny).
+    per_pe_regions = np.zeros(num_pes)
+    for rid in region_ids:
+        per_pe_regions[naive[rid]] += 1
+    phases.region_construction = float(per_pe_regions.max()) * REGION_CREATE_COST
+
+    # Phase 2: node generation under the naive distribution.
+    gen_costs = {rid: workload.region_work[rid].gen_cost for rid in region_ids}
+    gen_loads = np.zeros(num_pes)
+    for rid in region_ids:
+        gen_loads[naive[rid]] += gen_costs[rid]
+    phases.node_generation = float(gen_loads.max())
+
+    # Load balancing decision.
+    repart_info: RepartitionResult | None = None
+    connect_assignment = naive
+    steal_policy = None
+    if strategy == "repartition":
+        weights = workload.sample_count_weights()
+        repart_info = repartition(
+            workload.subdivision.graph, weights, naive, topology
+        )
+        connect_assignment = repart_info.assignment
+        phases.lb_overhead = repart_info.overhead
+    elif strategy != "none":
+        steal_policy = policy_by_name(strategy)
+
+    # Phase 3: node connection (the load-balanced phase).
+    connect_costs = {rid: workload.region_work[rid].connect_cost for rid in region_ids}
+
+    def executor(task: int, pe: int) -> float:
+        return connect_costs[task]
+
+    if steal_policy is None:
+        sim = run_static_phase(topology, executor, connect_assignment)
+    else:
+        simulator = WorkStealingSimulator(
+            topology,
+            executor,
+            steal_policy=steal_policy,
+            steal_chunk=steal_chunk,
+            rng=np.random.default_rng(rng_seed),
+        )
+        sim = simulator.run(connect_assignment)
+        phases.termination = detection_delay_tree(topology)
+    phases.node_connection = sim.makespan
+
+    # Final region ownership after the connection phase (stealing is an
+    # ownership transfer, so stolen regions now live on the thief).
+    final_owner = dict(sim.executed_by)
+
+    # Phase 4: region connection with remote-access accounting.
+    region_view = PGraphView("region graph", topology)
+    roadmap_view = PGraphView("roadmap graph", topology)
+    region_view.set_owners(final_owner)
+    roadmap_view.set_owners(final_owner)
+
+    conn_loads = np.zeros(num_pes)
+    for adj in workload.adjacency_work:
+        owner_a = final_owner[adj.a]
+        # Region-graph adjacency metadata is replicated at construction
+        # time, so its remote accesses are counted (Fig. 7b) but free;
+        # roadmap vertex reads ship as one aggregated message.
+        region_view.access(owner_a, adj.b)
+        latency = roadmap_view.access_bulk(owner_a, adj.b, count=adj.vertex_reads)
+        conn_loads[owner_a] += adj.cost + latency
+    phases.region_connection = float(conn_loads.max()) if conn_loads.size else 0.0
+
+    # Node ownership histograms (Fig. 5b/5c).
+    nodes_before = np.zeros(num_pes)
+    nodes_after = np.zeros(num_pes)
+    for rid in region_ids:
+        n = workload.region_work[rid].num_samples
+        nodes_before[naive[rid]] += n
+        nodes_after[final_owner[rid]] += n
+
+    return PRMRunResult(
+        strategy=strategy,
+        num_pes=num_pes,
+        phases=phases,
+        connection_loads=sim.work_times(),
+        nodes_per_pe=nodes_after,
+        nodes_per_pe_before=nodes_before,
+        region_graph_remote=region_view.stats.remote,
+        roadmap_graph_remote=roadmap_view.stats.remote,
+        connection_sim=sim,
+        repartition_info=repart_info,
+    )

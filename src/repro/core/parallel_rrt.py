@@ -1,0 +1,402 @@
+"""Uniform radial subdivision parallel RRT with load balancing (Alg. 2, 3).
+
+Phases mirror the parallel PRM driver:
+
+1. **Region construction** — sample ``Nr`` points on the hypersphere,
+   build the conical region graph (Alg. 2 lines 1-9).
+2. **Branch growth** — grow a biased, cone-constrained sequential RRT per
+   region (line 11).  This is the imbalanced phase: cones blocked by
+   obstacles burn iterations on failed extensions while open cones grow
+   smoothly.  Work stealing applies here; repartitioning may too, but its
+   only available weight — the k-random-rays free-space probe — is both
+   costly and inaccurate (Sec. III-B), which Fig. 10b shows can make it a
+   net loss.
+3. **Branch connection** — connect branches of adjacent regions; an edge
+   that would create a cycle triggers a prune (we rewire the child to the
+   shorter parent, preserving the tree property).
+
+As with PRM, real planning happens once in :func:`build_rrt_workload`;
+per-strategy machine behaviour is replayed by :func:`simulate_rrt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cspace.local_planner import StraightLinePlanner
+from ..cspace.space import ConfigurationSpace
+from ..knn.brute import BruteForceNN
+from ..planners.roadmap import Roadmap
+from ..planners.rrt import RRT
+from ..planners.stats import PlannerStats, WorkModel
+from ..runtime.simulator import WorkStealingSimulator, run_static_phase
+from ..runtime.stats import SimResult
+from ..runtime.termination import detection_delay_tree
+from ..runtime.topology import ClusterTopology
+from ..subdivision.radial import RadialSubdivision
+from .repartition import RepartitionResult, repartition
+from .weights import rrt_k_rays_weights
+from .work_stealing import policy_by_name
+
+__all__ = [
+    "BranchWork",
+    "BranchAdjacencyWork",
+    "RRTWorkload",
+    "RRTPhaseTimes",
+    "RRTRunResult",
+    "build_rrt_workload",
+    "simulate_rrt",
+]
+
+ID_SHIFT = 20
+
+
+@dataclass
+class BranchWork:
+    """Measured work of growing one conical region's RRT branch."""
+
+    rid: int
+    grow_cost: float
+    num_nodes: int
+    stats: PlannerStats
+
+
+@dataclass
+class BranchAdjacencyWork:
+    """Measured work of connecting two adjacent branches."""
+
+    a: int
+    b: int
+    cost: float
+    vertex_reads: int
+    edges_added: int
+    cycles_pruned: int
+
+
+@dataclass
+class RRTWorkload:
+    """Per-problem measured work, reused across strategies and PE counts."""
+
+    cspace: ConfigurationSpace
+    radial: RadialSubdivision
+    branch_work: "dict[int, BranchWork]"
+    adjacency_work: "list[BranchAdjacencyWork]"
+    tree: Roadmap
+    parents: "dict[int, int]"
+    root_config: np.ndarray
+    work_model: WorkModel
+    seed: int
+
+    @property
+    def num_regions(self) -> int:
+        return self.radial.num_regions
+
+    def total_grow_work(self) -> float:
+        return sum(w.grow_cost for w in self.branch_work.values())
+
+
+@dataclass
+class RRTPhaseTimes:
+    region_construction: float = 0.0
+    branch_growth: float = 0.0
+    branch_connection: float = 0.0
+    lb_overhead: float = 0.0
+    termination: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.region_construction
+            + self.branch_growth
+            + self.branch_connection
+            + self.lb_overhead
+            + self.termination
+        )
+
+
+@dataclass
+class RRTRunResult:
+    strategy: str
+    num_pes: int
+    phases: RRTPhaseTimes
+    growth_loads: np.ndarray
+    nodes_per_pe: np.ndarray
+    growth_sim: SimResult
+    repartition_info: "RepartitionResult | None" = None
+
+    @property
+    def total_time(self) -> float:
+        return self.phases.total
+
+
+# ---------------------------------------------------------------------------
+# Workload construction
+# ---------------------------------------------------------------------------
+
+def _lift_position(cspace: ConfigurationSpace, position: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Embed a positional point into a full configuration, copying the
+    non-positional coordinates from ``template``."""
+    cfg = np.asarray(template, dtype=float).copy()
+    cfg[list(cspace.positional_dims)] = position
+    return cfg
+
+
+def build_rrt_workload(
+    cspace: ConfigurationSpace,
+    root: np.ndarray,
+    num_regions: int,
+    nodes_per_region: int = 12,
+    radius: float | None = None,
+    k_adjacent: int = 3,
+    k_inter: int = 1,
+    overlap_angle: float = 0.1,
+    step_size: float = 0.6,
+    goal_bias: float = 0.3,
+    iteration_factor: int = 40,
+    connect_sources: int = 3,
+    seed: int = 0,
+    work_model: WorkModel | None = None,
+    lp_resolution: float = 0.5,
+) -> RRTWorkload:
+    """Grow every conical branch once against the real geometry.
+
+    ``radius`` defaults to the largest sphere around the root's position
+    that fits the workspace bounds.
+    """
+    work_model = work_model or WorkModel()
+    root = np.asarray(root, dtype=float)
+    if not cspace.valid_single(root):
+        raise ValueError("RRT root configuration is invalid")
+    pos_dims = list(cspace.positional_dims)
+    root_pos = root[pos_dims]
+    if radius is None:
+        radius = float(
+            min(
+                np.min(root_pos - cspace.bounds.lo[pos_dims]),
+                np.min(cspace.bounds.hi[pos_dims] - root_pos),
+            )
+        )
+    radial = RadialSubdivision(
+        root_pos,
+        radius,
+        num_regions,
+        k=k_adjacent,
+        overlap=overlap_angle,
+        rng=np.random.default_rng(seed),
+    )
+    planner = RRT(
+        cspace,
+        step_size=step_size,
+        local_planner=StraightLinePlanner(resolution=lp_resolution),
+        goal_bias=goal_bias,
+    )
+
+    tree = Roadmap(cspace.dim)
+    parents: "dict[int, int]" = {}
+    branch_work: "dict[int, BranchWork]" = {}
+    branch_nodes: "dict[int, np.ndarray]" = {}
+
+    for rid in radial.graph.region_ids():
+        region = radial.region_of(rid)
+        rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
+        bias_cfg = _lift_position(cspace, region.target, root)
+        result = planner.grow(
+            root,
+            nodes_per_region,
+            rng,
+            bias_target=bias_cfg,
+            region_predicate=lambda q, region=region, dims=pos_dims: region.contains(
+                np.asarray(q)[dims]
+            ),
+            max_iterations=iteration_factor * nodes_per_region,
+            id_base=rid << ID_SHIFT,
+        )
+        st = result.stats
+        cost = work_model.time_of(st)
+        branch_work[rid] = BranchWork(rid, cost, result.tree.num_vertices, st)
+        tree.merge(result.tree)
+        parents.update(result.parents)
+        ids, _cfgs = result.tree.configs_array()
+        branch_nodes[rid] = ids
+
+    # Identify the duplicated per-branch roots: path costs to the shared
+    # root treat every branch root as cost 0.
+    cost_to_root: "dict[int, float]" = {}
+
+    def root_cost(vid: int) -> float:
+        chain = []
+        v = vid
+        while v not in cost_to_root and parents[v] != v:
+            chain.append(v)
+            v = parents[v]
+        base = cost_to_root.get(v, 0.0)
+        for u in reversed(chain):
+            base += tree.neighbors(u)[parents[u]]
+            cost_to_root[u] = base
+        if parents[vid] == vid:
+            cost_to_root[vid] = 0.0
+        return cost_to_root.get(vid, base)
+
+    # Branch connection phase: for each adjacency, try linking branch a's
+    # nodes to branch b's; a valid link rewires (prunes) when it shortens
+    # b-node's path to the root, otherwise counts as a pruned cycle.
+    lp = planner.local_planner
+    adjacency_work: "list[BranchAdjacencyWork]" = []
+    for a, b in sorted(radial.graph.edges()):
+        ids_a, ids_b = branch_nodes[a], branch_nodes[b]
+        st = PlannerStats()
+        edges_added = 0
+        cycles = 0
+        reads = 0
+        if ids_a.size and ids_b.size:
+            nn = BruteForceNN(cspace.dim)
+            nn.add_batch(ids_b, np.stack([tree.config(int(i)) for i in ids_b]))
+            reads += int(ids_b.size)
+            # Use the outermost nodes of a (deepest in the branch) as
+            # connection sources: they are the ones near region borders.
+            sources = ids_a[-min(connect_sources, ids_a.size):]
+            for u in sources:
+                u = int(u)
+                st.nn_queries += 1
+                for v, _d in nn.knn(tree.config(u), k_inter, exclude=u):
+                    res = lp(cspace, tree.config(u), tree.config(v))
+                    st.lp_calls += 1
+                    st.lp_checks += res.checks
+                    reads += 1
+                    if not res.valid:
+                        continue
+                    st.lp_successes += 1
+                    if tree.has_edge(u, v):
+                        continue
+                    new_cost = root_cost(u) + res.length
+                    if new_cost < root_cost(v) and parents[v] != v:
+                        # Rewire: prune the old parent edge, adopt the new.
+                        tree.remove_edge(v, parents[v])
+                        tree.add_edge(u, v, res.length)
+                        parents[v] = u
+                        cost_to_root[v] = new_cost
+                        edges_added += 1
+                        cycles += 1
+                    else:
+                        cycles += 1
+            st.nn_distance_evals += nn.stats.distance_evals
+        cost = work_model.time_of(st)
+        adjacency_work.append(BranchAdjacencyWork(a, b, cost, reads, edges_added, cycles))
+
+    return RRTWorkload(
+        cspace=cspace,
+        radial=radial,
+        branch_work=branch_work,
+        adjacency_work=adjacency_work,
+        tree=tree,
+        parents=parents,
+        root_config=root,
+        work_model=work_model,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Machine simulation
+# ---------------------------------------------------------------------------
+
+REGION_CREATE_COST = 0.05
+
+
+def simulate_rrt(
+    workload: RRTWorkload,
+    num_pes: int,
+    strategy: str = "none",
+    topology: ClusterTopology | None = None,
+    k_rays: int = 8,
+    steal_chunk: "str | int" = "half",
+    rng_seed: int = 54321,
+) -> RRTRunResult:
+    """Replay the RRT workload on a virtual machine.
+
+    ``strategy``: ``"none"``, ``"rand-8"``, ``"diffusive"``, ``"hybrid"``,
+    or ``"repartition"`` (k-rays weights; expect it to disappoint, per the
+    paper).
+    """
+    from ..partition.naive import partition_block
+
+    topology = topology or ClusterTopology(num_pes)
+    if topology.num_pes != num_pes:
+        raise ValueError("topology PE count mismatch")
+    phases = RRTPhaseTimes()
+    graph = workload.radial.graph
+    region_ids = graph.region_ids()
+    naive = partition_block(graph, num_pes)
+
+    per_pe_regions = np.zeros(num_pes)
+    for rid in region_ids:
+        per_pe_regions[naive[rid]] += 1
+    phases.region_construction = float(per_pe_regions.max()) * REGION_CREATE_COST
+
+    repart_info: RepartitionResult | None = None
+    grow_assignment = naive
+    steal_policy = None
+    if strategy == "repartition":
+        weights, casts = rrt_k_rays_weights(
+            workload.radial,
+            workload.cspace.env,
+            k_rays=k_rays,
+            rng=np.random.default_rng(rng_seed),
+        )
+        repart_info = repartition(graph, weights, naive, topology)
+        grow_assignment = repart_info.assignment
+        # Probe cost: each PE casts rays for its regions; makespan term is
+        # the per-PE maximum.
+        probe_loads = np.zeros(num_pes)
+        cost_per_cast = workload.work_model.cost_lp_check * k_rays
+        for rid in region_ids:
+            probe_loads[naive[rid]] += cost_per_cast
+        phases.lb_overhead = repart_info.overhead + float(probe_loads.max())
+    elif strategy != "none":
+        steal_policy = policy_by_name(strategy)
+
+    grow_costs = {rid: workload.branch_work[rid].grow_cost for rid in region_ids}
+
+    def executor(task: int, pe: int) -> float:
+        return grow_costs[task]
+
+    if steal_policy is None:
+        sim = run_static_phase(topology, executor, grow_assignment)
+    else:
+        simulator = WorkStealingSimulator(
+            topology,
+            executor,
+            steal_policy=steal_policy,
+            steal_chunk=steal_chunk,
+            rng=np.random.default_rng(rng_seed),
+        )
+        sim = simulator.run(grow_assignment)
+        phases.termination = detection_delay_tree(topology)
+    phases.branch_growth = sim.makespan
+
+    final_owner = dict(sim.executed_by)
+    conn_loads = np.zeros(num_pes)
+    for adj in workload.adjacency_work:
+        owner_a = final_owner[adj.a]
+        latency = 0.0
+        if final_owner[adj.b] != owner_a and adj.vertex_reads:
+            # Branch vertex reads ship as one aggregated message.
+            latency = topology.latency(owner_a, final_owner[adj.b], payload=adj.vertex_reads)
+        conn_loads[owner_a] += adj.cost + latency
+    phases.branch_connection = float(conn_loads.max()) if conn_loads.size else 0.0
+
+    nodes_per_pe = np.zeros(num_pes)
+    for rid in region_ids:
+        nodes_per_pe[final_owner[rid]] += workload.branch_work[rid].num_nodes
+
+    return RRTRunResult(
+        strategy=strategy,
+        num_pes=num_pes,
+        phases=phases,
+        growth_loads=sim.work_times(),
+        nodes_per_pe=nodes_per_pe,
+        growth_sim=sim,
+        repartition_info=repart_info,
+    )

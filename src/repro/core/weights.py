@@ -1,0 +1,101 @@
+"""Region work estimators (``ComputeRegionWeight`` of Algorithm 4).
+
+PRM — sample counts.  "A good metric for approximating the amount of work
+that a region will generate is the number of samples in the roadmap that
+lie within that region" (Sec. III-B): sample generation is cheap and
+happens before the expensive connection phase, so the counts are known
+exactly when repartitioning runs.
+
+RRT — k random rays.  "An estimate of work for an RRT branch that uses k
+random rays originating from the origin of the region, and computes the
+minimum distance to an obstacle in the direction of these rays" (Sec.
+III-B).  The paper shows this is a *poor* estimator unless many rays are
+used (and then it is expensive) — reproduced by our Fig. 10b bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.environment import Environment
+from ..subdivision.radial import RadialSubdivision
+from ..subdivision.region import RegionGraph
+from ..subdivision.uniform import UniformSubdivision
+
+__all__ = [
+    "prm_sample_count_weights",
+    "prm_free_volume_weights",
+    "rrt_k_rays_weights",
+    "uniform_weights",
+]
+
+
+def uniform_weights(graph: RegionGraph) -> "dict[int, float]":
+    """All regions weigh 1 — what no-information repartitioning would use."""
+    return {rid: 1.0 for rid in graph.region_ids()}
+
+
+def prm_sample_count_weights(
+    subdivision: UniformSubdivision, samples: np.ndarray
+) -> "dict[int, float]":
+    """Weight = number of roadmap samples whose position falls in the region.
+
+    ``samples`` is the ``(n, d)`` array of positional coordinates of all
+    generated roadmap nodes (the regional sampling phase output).
+    """
+    weights = {rid: 0.0 for rid in subdivision.graph.region_ids()}
+    if samples.size:
+        rids = subdivision.locate_batch(samples)
+        ids, counts = np.unique(rids, return_counts=True)
+        for rid, c in zip(ids, counts):
+            weights[int(rid)] = float(c)
+    return weights
+
+
+def prm_free_volume_weights(subdivision: UniformSubdivision, env: Environment) -> "dict[int, float]":
+    """Weight = exact free volume of the region — the theoretical model's
+    ground truth (Sec. IV-B: load is proportional to ``V_free``)."""
+    weights: "dict[int, float]" = {}
+    for rid in subdivision.graph.region_ids():
+        region = subdivision.region_of(rid)
+        weights[rid] = env.free_volume(region.bounds)
+    return weights
+
+
+def rrt_k_rays_weights(
+    radial: RadialSubdivision,
+    env: Environment,
+    k_rays: int = 8,
+    rng: np.random.Generator | None = None,
+) -> "tuple[dict[int, float], int]":
+    """k-random-rays free-space probe per conical region.
+
+    For each region, ``k_rays`` random directions are drawn inside the
+    cone; each ray is traced to the nearest obstacle.  The weight is the
+    mean free distance — an (intentionally imperfect) proxy for reachable
+    free space.  Returns ``(weights, ray_casts)`` so callers can charge
+    the probe's cost, which the paper stresses is non-trivial.
+    """
+    if k_rays < 1:
+        raise ValueError("k_rays must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    weights: "dict[int, float]" = {}
+    casts = 0
+    root = radial.root
+    for rid in radial.graph.region_ids():
+        region = radial.region_of(rid)
+        axis = region.direction
+        total = 0.0
+        for _ in range(k_rays):
+            # Random direction within the cone: perturb the axis by a
+            # Gaussian scaled to the half-angle, then renormalise.
+            d = axis + np.tan(min(region.half_angle, np.pi / 2 - 1e-6)) * rng.normal(
+                size=root.shape[0]
+            ) / np.sqrt(root.shape[0])
+            n = np.linalg.norm(d)
+            if n == 0.0:
+                d, n = axis, 1.0
+            total += env.ray_free_distance(root, d / n, region.radius)
+            casts += 1
+        weights[rid] = total / k_rays
+    return weights, casts

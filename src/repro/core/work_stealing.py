@@ -1,0 +1,99 @@
+"""Victim-selection policies for work-stealing parallel motion planning.
+
+Section III-A of the paper defines three strategies:
+
+* ``RAND-K`` — "a thief requests additional regions from k random
+  processors, but not necessarily the same k processors for each
+  request"; the paper fixes ``k = 8``.
+* ``DIFFUSIVE`` — "processors are assumed to be arranged in a 2D mesh and
+  underloaded processors will request neighboring processors for work".
+* ``HYBRID`` — "first execute DIFFUSIVE stealing and in the event that no
+  request could be serviced, requests are sent to random processors".
+
+Policies plug into
+:class:`~repro.runtime.simulator.WorkStealingSimulator`; the round index
+it passes distinguishes a first attempt from retries after a fully
+failed round, which is what HYBRID keys its fallback on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.topology import ClusterTopology
+
+__all__ = ["RandKPolicy", "DiffusivePolicy", "HybridPolicy", "policy_by_name"]
+
+
+class RandKPolicy:
+    """Steal from ``k`` uniformly random distinct victims each round."""
+
+    def __init__(self, k: int = 8):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"rand-{k}"
+
+    def select_victims(
+        self,
+        thief: int,
+        round_index: int,
+        topology: ClusterTopology,
+        rng: np.random.Generator,
+    ) -> "list[int]":
+        P = topology.num_pes
+        if P <= 1:
+            return []
+        others = np.delete(np.arange(P), thief)
+        k = min(self.k, others.size)
+        return [int(v) for v in rng.choice(others, size=k, replace=False)]
+
+
+class DiffusivePolicy:
+    """Steal only from 2D-mesh neighbours, every round."""
+
+    name = "diffusive"
+
+    def select_victims(
+        self,
+        thief: int,
+        round_index: int,
+        topology: ClusterTopology,
+        rng: np.random.Generator,
+    ) -> "list[int]":
+        return topology.mesh_neighbors(thief)
+
+
+class HybridPolicy:
+    """Diffusive first; random fallback once a whole round fails."""
+
+    def __init__(self, k: int = 8):
+        self.k = k
+        self.name = f"hybrid(rand-{k})"
+        self._diffusive = DiffusivePolicy()
+        self._random = RandKPolicy(k)
+
+    def select_victims(
+        self,
+        thief: int,
+        round_index: int,
+        topology: ClusterTopology,
+        rng: np.random.Generator,
+    ) -> "list[int]":
+        if round_index == 0:
+            return self._diffusive.select_victims(thief, round_index, topology, rng)
+        return self._random.select_victims(thief, round_index, topology, rng)
+
+
+def policy_by_name(name: str, k: int = 8):
+    """Factory used by the benchmark drivers; names follow the paper."""
+    table = {
+        "rand-k": lambda: RandKPolicy(k),
+        "rand-8": lambda: RandKPolicy(8),
+        "diffusive": DiffusivePolicy,
+        "hybrid": lambda: HybridPolicy(k),
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise KeyError(f"unknown steal policy {name!r}; known: {sorted(table)}") from None

@@ -1,0 +1,29 @@
+"""Configuration spaces, samplers, and local planners."""
+
+from .local_planner import BinaryLocalPlanner, LocalPlanResult, StraightLinePlanner
+from .rigid_body import RigidBodyCSpace, box_body_points
+from .sampling import (
+    BridgeTestSampler,
+    GaussianSampler,
+    MixtureSampler,
+    ObstacleBasedSampler,
+    SampleBatch,
+    UniformSampler,
+)
+from .space import ConfigurationSpace, EuclideanCSpace
+
+__all__ = [
+    "BinaryLocalPlanner",
+    "LocalPlanResult",
+    "StraightLinePlanner",
+    "RigidBodyCSpace",
+    "box_body_points",
+    "BridgeTestSampler",
+    "GaussianSampler",
+    "MixtureSampler",
+    "ObstacleBasedSampler",
+    "SampleBatch",
+    "UniformSampler",
+    "ConfigurationSpace",
+    "EuclideanCSpace",
+]

@@ -1,0 +1,304 @@
+"""Workspace model: a bounded box populated with axis-aligned obstacles.
+
+The environment is the *workspace* the robot moves in.  Obstacles are AABBs
+stored in two stacked arrays (``obs_lo``, ``obs_hi``) so collision queries
+against *batches* of points or segments are single vectorised NumPy
+expressions — the dominant cost of sampling-based planning is collision
+checking, so this is the hot path (see the profiling guidance in the
+project's HPC notes).
+
+The environment also counts collision-detection calls.  The simulated
+distributed runtime charges virtual time per CD call, so these counters are
+the bridge between "real planner work" and "virtual machine time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .primitives import AABB
+
+__all__ = ["Environment", "CollisionCounters"]
+
+
+@dataclass
+class CollisionCounters:
+    """Tally of collision-detection work performed against an environment."""
+
+    point_checks: int = 0
+    segment_checks: int = 0
+
+    def reset(self) -> None:
+        self.point_checks = 0
+        self.segment_checks = 0
+
+    def snapshot(self) -> "CollisionCounters":
+        return CollisionCounters(self.point_checks, self.segment_checks)
+
+    def delta(self, earlier: "CollisionCounters") -> "CollisionCounters":
+        return CollisionCounters(
+            self.point_checks - earlier.point_checks,
+            self.segment_checks - earlier.segment_checks,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.point_checks + self.segment_checks
+
+
+class Environment:
+    """A ``d``-dimensional bounded workspace with axis-aligned box obstacles.
+
+    Parameters
+    ----------
+    bounds:
+        The workspace bounding box.
+    obstacles:
+        A list of :class:`AABB` obstacles.  Obstacles may overlap each other
+        and may extend beyond ``bounds`` (only the part inside the bounds
+        matters for free-volume computations).
+    name:
+        Human-readable identifier used in benchmark output.
+    """
+
+    def __init__(self, bounds: AABB, obstacles: "list[AABB] | None" = None, name: str = "env"):
+        self.bounds = bounds
+        self.obstacles: list[AABB] = list(obstacles or [])
+        self.name = name
+        self.counters = CollisionCounters()
+        self._rebuild_arrays()
+
+    def _rebuild_arrays(self) -> None:
+        d = self.bounds.dim
+        for obs in self.obstacles:
+            if obs.dim != d:
+                raise ValueError(f"obstacle dim {obs.dim} != workspace dim {d}")
+        if self.obstacles:
+            self._obs_lo = np.stack([o.lo for o in self.obstacles])
+            self._obs_hi = np.stack([o.hi for o in self.obstacles])
+        else:
+            self._obs_lo = np.empty((0, d))
+            self._obs_hi = np.empty((0, d))
+
+    # -- mutation ---------------------------------------------------------
+    def add_obstacle(self, obstacle: AABB) -> None:
+        self.obstacles.append(obstacle)
+        self._rebuild_arrays()
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.bounds.dim
+
+    @property
+    def num_obstacles(self) -> int:
+        return len(self.obstacles)
+
+    def obstacle_volume(self, within: AABB | None = None) -> float:
+        """Total obstacle volume inside ``within`` (default: whole workspace).
+
+        Overlapping obstacles are handled by inclusion-exclusion up to
+        pairwise terms for speed; the procedural builders in
+        :mod:`repro.geometry.environments` generate non-overlapping
+        obstacles, for which this is exact.
+        """
+        region = within if within is not None else self.bounds
+        vols = [o.intersection_volume(region) for o in self.obstacles]
+        total = float(sum(vols))
+        # Pairwise overlap correction.
+        for i in range(len(self.obstacles)):
+            oi = self.obstacles[i].intersection(region)
+            if oi is None:
+                continue
+            for j in range(i + 1, len(self.obstacles)):
+                total -= oi.intersection_volume(self.obstacles[j])
+        return max(total, 0.0)
+
+    def box_obstacle_relation(self, box: AABB) -> str:
+        """Classify ``box`` against the obstacle set.
+
+        Returns ``"free"`` (touches no obstacle), ``"blocked"`` (entirely
+        inside one obstacle), or ``"boundary"`` (straddles at least one
+        obstacle surface).  Used to identify narrow-passage regions.
+        """
+        inside_any = False
+        touches_any = False
+        for obs in self.obstacles:
+            if obs.intersects(box):
+                touches_any = True
+                if np.all(obs.lo <= box.lo) and np.all(box.hi <= obs.hi):
+                    inside_any = True
+                    break
+        if inside_any:
+            return "blocked"
+        return "boundary" if touches_any else "free"
+
+    def free_volume(self, within: AABB | None = None) -> float:
+        region = within if within is not None else self.bounds
+        clipped = region.intersection(self.bounds)
+        if clipped is None:
+            return 0.0
+        return max(clipped.volume() - self.obstacle_volume(clipped), 0.0)
+
+    def blocked_fraction(self) -> float:
+        v = self.bounds.volume()
+        return 0.0 if v == 0 else self.obstacle_volume() / v
+
+    # -- collision queries ---------------------------------------------------
+    def points_in_collision(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: True where the point hits an obstacle or exits bounds.
+
+        ``points`` has shape ``(n, d)`` or ``(d,)``.
+        """
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        pts = np.atleast_2d(pts)
+        self.counters.point_checks += pts.shape[0] * max(1, self._obs_lo.shape[0])
+        out_of_bounds = ~self.bounds.contains(pts)
+        if self._obs_lo.shape[0] == 0:
+            hit = out_of_bounds
+        else:
+            # (n, 1, d) vs (1, m, d) broadcast; all-axes-inside => collision.
+            inside = np.all(
+                (pts[:, None, :] >= self._obs_lo[None, :, :])
+                & (pts[:, None, :] <= self._obs_hi[None, :, :]),
+                axis=2,
+            )
+            hit = inside.any(axis=1) | out_of_bounds
+        return bool(hit[0]) if single else hit
+
+    def point_free(self, point: np.ndarray) -> bool:
+        return not bool(self.points_in_collision(point))
+
+    def segment_in_collision(self, p: np.ndarray, q: np.ndarray, resolution: float = 0.0) -> bool:
+        """Exact swept test of the segment ``p->q`` against all obstacles.
+
+        ``resolution`` is accepted for interface parity with sampled local
+        planners but the slab test here is exact for point robots, so it is
+        unused.
+        """
+        del resolution
+        p = np.asarray(p, dtype=float)
+        q = np.asarray(q, dtype=float)
+        self.counters.segment_checks += max(1, self._obs_lo.shape[0])
+        if not (self.bounds.contains(p) and self.bounds.contains(q)):
+            return True
+        if self._obs_lo.shape[0] == 0:
+            return False
+        return bool(self._segments_hit(p[None, :], q[None, :])[0])
+
+    def segments_in_collision(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Vectorised swept test for segments ``p[i]->q[i]``."""
+        p = np.atleast_2d(np.asarray(p, dtype=float))
+        q = np.atleast_2d(np.asarray(q, dtype=float))
+        self.counters.segment_checks += p.shape[0] * max(1, self._obs_lo.shape[0])
+        in_bounds = self.bounds.contains(p) & self.bounds.contains(q)
+        if self._obs_lo.shape[0] == 0:
+            return ~in_bounds
+        return self._segments_hit(p, q) | ~in_bounds
+
+    def _segments_hit(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Slab test of n segments against m obstacles -> (n,) bool."""
+        d = q - p  # (n, dim)
+        n, dim = p.shape
+        m = self._obs_lo.shape[0]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv = np.where(d != 0.0, 1.0 / d, np.inf)  # (n, dim)
+        # (n, m, dim)
+        t_lo = (self._obs_lo[None, :, :] - p[:, None, :]) * inv[:, None, :]
+        t_hi = (self._obs_hi[None, :, :] - p[:, None, :]) * inv[:, None, :]
+        t_near = np.minimum(t_lo, t_hi)
+        t_far = np.maximum(t_lo, t_hi)
+        parallel = (d == 0.0)[:, None, :] & np.ones((1, m, 1), dtype=bool)
+        inside_slab = (p[:, None, :] >= self._obs_lo[None, :, :]) & (
+            p[:, None, :] <= self._obs_hi[None, :, :]
+        )
+        miss_parallel = parallel & ~inside_slab
+        t_near = np.where(parallel, -np.inf, t_near)
+        t_far = np.where(parallel, np.inf, t_far)
+        t0 = np.maximum(t_near.max(axis=2), 0.0)  # (n, m)
+        t1 = np.minimum(t_far.min(axis=2), 1.0)
+        hit = (t0 <= t1) & ~miss_parallel.any(axis=2)
+        return hit.any(axis=1)
+
+    # -- ray probes (used by the k-rays RRT weight estimator) ----------------
+    def ray_free_distance(self, origin: np.ndarray, direction: np.ndarray, max_dist: float) -> float:
+        """Distance travelled from ``origin`` along ``direction`` before
+        hitting an obstacle or the workspace boundary, capped at ``max_dist``.
+        """
+        origin = np.asarray(origin, dtype=float)
+        direction = np.asarray(direction, dtype=float)
+        norm = np.linalg.norm(direction)
+        if norm == 0.0:
+            raise ValueError("ray direction must be non-zero")
+        u = direction / norm
+        self.counters.segment_checks += max(1, self._obs_lo.shape[0])
+
+        # Exit parameter through the workspace bounds.
+        t_exit = _ray_box_exit(origin, u, self.bounds.lo, self.bounds.hi)
+        best = min(max_dist, t_exit)
+        for lo, hi in zip(self._obs_lo, self._obs_hi):
+            t_enter = _ray_box_enter(origin, u, lo, hi)
+            if t_enter is not None and 0.0 <= t_enter < best:
+                best = t_enter
+        return max(best, 0.0)
+
+    # -- sampling helpers -----------------------------------------------------
+    def sample_free(self, rng: np.random.Generator, n: int, within: AABB | None = None, max_tries: int = 64) -> np.ndarray:
+        """Rejection-sample ``n`` collision-free points (may return fewer if
+        the region is heavily blocked after ``max_tries`` rounds)."""
+        region = within if within is not None else self.bounds
+        out: list[np.ndarray] = []
+        need = n
+        for _ in range(max_tries):
+            if need <= 0:
+                break
+            cand = region.sample(rng, max(need * 2, 8))
+            free = ~self.points_in_collision(cand)
+            got = cand[free][:need]
+            if got.size:
+                out.append(got)
+                need -= got.shape[0]
+        if not out:
+            return np.empty((0, self.dim))
+        return np.vstack(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Environment(name={self.name!r}, dim={self.dim}, "
+            f"obstacles={self.num_obstacles}, blocked={self.blocked_fraction():.2%})"
+        )
+
+
+def _ray_box_enter(origin, u, lo, hi):
+    """Parameter t >= 0 where ray origin+t*u first enters [lo,hi]; None if it misses."""
+    t0, t1 = -np.inf, np.inf
+    for i in range(origin.shape[0]):
+        if u[i] == 0.0:
+            if origin[i] < lo[i] or origin[i] > hi[i]:
+                return None
+        else:
+            ta = (lo[i] - origin[i]) / u[i]
+            tb = (hi[i] - origin[i]) / u[i]
+            if ta > tb:
+                ta, tb = tb, ta
+            t0 = max(t0, ta)
+            t1 = min(t1, tb)
+            if t0 > t1:
+                return None
+    if t1 < 0.0:
+        return None
+    return max(t0, 0.0)
+
+
+def _ray_box_exit(origin, u, lo, hi) -> float:
+    """Parameter t >= 0 where a ray starting inside [lo,hi] exits it."""
+    t1 = np.inf
+    for i in range(origin.shape[0]):
+        if u[i] > 0.0:
+            t1 = min(t1, (hi[i] - origin[i]) / u[i])
+        elif u[i] < 0.0:
+            t1 = min(t1, (lo[i] - origin[i]) / u[i])
+    return max(t1, 0.0)

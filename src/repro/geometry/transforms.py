@@ -1,0 +1,68 @@
+"""Rigid-body transforms for SE(2) and SE(3).
+
+Rotations are parameterised compactly for planning purposes:
+
+* SE(2): ``(x, y, theta)`` with ``theta`` in radians.
+* SE(3): ``(x, y, z, rx, ry, rz)`` — intrinsic XYZ Euler angles.
+
+These match the configuration layouts used by
+:mod:`repro.cspace.rigid_body`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rot2d",
+    "rot3d_euler",
+    "transform_points_se2",
+    "transform_points_se3",
+    "angular_difference",
+    "wrap_angle",
+]
+
+
+def wrap_angle(theta: np.ndarray | float) -> np.ndarray | float:
+    """Wrap angles into ``(-pi, pi]``."""
+    wrapped = np.mod(np.asarray(theta, dtype=float) + np.pi, 2.0 * np.pi) - np.pi
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    if np.isscalar(theta) or np.asarray(theta).ndim == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def angular_difference(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray | float:
+    """Signed shortest angular difference ``b - a``, in ``(-pi, pi]``."""
+    return wrap_angle(np.asarray(b, dtype=float) - np.asarray(a, dtype=float))
+
+
+def rot2d(theta: float) -> np.ndarray:
+    """2x2 rotation matrix."""
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, -s], [s, c]])
+
+
+def rot3d_euler(rx: float, ry: float, rz: float) -> np.ndarray:
+    """3x3 rotation matrix from intrinsic XYZ Euler angles."""
+    cx, sx = np.cos(rx), np.sin(rx)
+    cy, sy = np.cos(ry), np.sin(ry)
+    cz, sz = np.cos(rz), np.sin(rz)
+    Rx = np.array([[1, 0, 0], [0, cx, -sx], [0, sx, cx]])
+    Ry = np.array([[cy, 0, sy], [0, 1, 0], [-sy, 0, cy]])
+    Rz = np.array([[cz, -sz, 0], [sz, cz, 0], [0, 0, 1]])
+    return Rx @ Ry @ Rz
+
+
+def transform_points_se2(points: np.ndarray, config: np.ndarray) -> np.ndarray:
+    """Apply SE(2) configuration ``(x, y, theta)`` to body-frame points ``(n, 2)``."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    x, y, theta = config
+    return pts @ rot2d(theta).T + np.array([x, y])
+
+
+def transform_points_se3(points: np.ndarray, config: np.ndarray) -> np.ndarray:
+    """Apply SE(3) configuration ``(x, y, z, rx, ry, rz)`` to points ``(n, 3)``."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    x, y, z, rx, ry, rz = config
+    return pts @ rot3d_euler(rx, ry, rz).T + np.array([x, y, z])

@@ -1,0 +1,8 @@
+"""Interchangeable k-nearest-neighbour backends."""
+
+from .base import KnnStats, NeighborFinder
+from .brute import BruteForceNN
+from .grid import GridNN
+from .kdtree import KDTreeNN
+
+__all__ = ["KnnStats", "NeighborFinder", "BruteForceNN", "GridNN", "KDTreeNN"]

@@ -1,0 +1,63 @@
+"""k-nearest-neighbour interface.
+
+Nearest-neighbour search is a well-known bottleneck of parallelising
+sampling-based motion planning (Sec. I of the paper); restricting
+connection attempts to within a region plus its neighbours is exactly what
+makes the uniform-subdivision approach scale.  The planners only need this
+small interface, so backends (brute force, kd-tree, grid) are
+interchangeable and are cross-checked against each other in the tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NeighborFinder", "KnnStats"]
+
+
+@dataclass
+class KnnStats:
+    """Counts of NN work, charged to virtual time by the runtime."""
+
+    queries: int = 0
+    distance_evals: int = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.distance_evals = 0
+
+
+class NeighborFinder(ABC):
+    """Maintains a set of points supporting k-NN and radius queries.
+
+    Points are identified by the integer id supplied at :meth:`add` time
+    (planners use roadmap vertex descriptors).
+    """
+
+    def __init__(self) -> None:
+        self.stats = KnnStats()
+
+    @abstractmethod
+    def add(self, point_id: int, point: np.ndarray) -> None:
+        """Insert a point with an external integer id."""
+
+    @abstractmethod
+    def add_batch(self, ids: np.ndarray, points: np.ndarray) -> None:
+        """Insert many points at once."""
+
+    @abstractmethod
+    def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
+        """The ``k`` nearest stored points to ``query`` as ``(id, distance)``
+        sorted by ascending distance.  ``exclude`` omits one id (typically
+        the query point itself)."""
+
+    @abstractmethod
+    def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
+        """All stored points within distance ``r`` of ``query``."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored points."""

@@ -1,0 +1,90 @@
+"""Vectorised brute-force nearest neighbours.
+
+O(n) per query but with NumPy constants small enough that it beats the
+tree structures below a few thousand points — the regime of regional
+roadmaps under heavy over-decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NeighborFinder
+
+__all__ = ["BruteForceNN"]
+
+_INITIAL_CAPACITY = 64
+
+
+class BruteForceNN(NeighborFinder):
+    """Amortised-growth array of points; queries are one broadcast each."""
+
+    def __init__(self, dim: int):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self._points = np.empty((_INITIAL_CAPACITY, dim))
+        self._ids = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._n = 0
+
+    def _ensure_capacity(self, extra: int) -> None:
+        need = self._n + extra
+        cap = self._points.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        self._points = np.resize(self._points, (new_cap, self.dim))
+        self._ids = np.resize(self._ids, new_cap)
+
+    def add(self, point_id: int, point: np.ndarray) -> None:
+        self._ensure_capacity(1)
+        self._points[self._n] = point
+        self._ids[self._n] = point_id
+        self._n += 1
+
+    def add_batch(self, ids: np.ndarray, points: np.ndarray) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape[0] != points.shape[0]:
+            raise ValueError("ids and points length mismatch")
+        self._ensure_capacity(points.shape[0])
+        self._points[self._n : self._n + points.shape[0]] = points
+        self._ids[self._n : self._n + points.shape[0]] = ids
+        self._n += points.shape[0]
+
+    def _distances(self, query: np.ndarray) -> np.ndarray:
+        pts = self._points[: self._n]
+        self.stats.queries += 1
+        self.stats.distance_evals += self._n
+        return np.linalg.norm(pts - np.asarray(query, dtype=float)[None, :], axis=1)
+
+    def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
+        if self._n == 0 or k <= 0:
+            return []
+        d = self._distances(query)
+        ids = self._ids[: self._n]
+        if exclude is not None:
+            mask = ids != exclude
+            d, ids = d[mask], ids[mask]
+        if d.size == 0:
+            return []
+        k_eff = min(k, d.size)
+        idx = np.argpartition(d, k_eff - 1)[:k_eff]
+        order = idx[np.argsort(d[idx], kind="stable")]
+        return [(int(ids[i]), float(d[i])) for i in order]
+
+    def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
+        if self._n == 0:
+            return []
+        d = self._distances(query)
+        ids = self._ids[: self._n]
+        mask = d <= r
+        if exclude is not None:
+            mask &= ids != exclude
+        sel = np.nonzero(mask)[0]
+        sel = sel[np.argsort(d[sel], kind="stable")]
+        return [(int(ids[i]), float(d[i])) for i in sel]
+
+    def __len__(self) -> int:
+        return self._n

@@ -1,0 +1,125 @@
+"""Grid-hash nearest neighbours.
+
+Buckets points into uniform cells and searches outward ring by ring.
+Best for densely, uniformly sampled spaces with radius-bounded queries —
+the regime of regional roadmap connection where candidate neighbours are
+never farther than the region diameter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+import numpy as np
+
+from .base import NeighborFinder
+
+__all__ = ["GridNN"]
+
+
+class GridNN(NeighborFinder):
+    """Uniform-cell spatial hash over ``dim``-dimensional points."""
+
+    def __init__(self, dim: int, cell_size: float):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.dim = dim
+        self.cell_size = cell_size
+        self._cells: "dict[tuple[int, ...], list[int]]" = defaultdict(list)
+        self._points: list[np.ndarray] = []
+        self._ids: list[int] = []
+
+    def _key(self, point: np.ndarray) -> "tuple[int, ...]":
+        return tuple(np.floor(np.asarray(point, dtype=float) / self.cell_size).astype(int))
+
+    def add(self, point_id: int, point: np.ndarray) -> None:
+        pt = np.asarray(point, dtype=float).copy()
+        if pt.shape != (self.dim,):
+            raise ValueError(f"point must have shape ({self.dim},), got {pt.shape}")
+        idx = len(self._points)
+        self._points.append(pt)
+        self._ids.append(point_id)
+        self._cells[self._key(pt)].append(idx)
+
+    def add_batch(self, ids: np.ndarray, points: np.ndarray) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape[0] != points.shape[0]:
+            raise ValueError("ids and points length mismatch")
+        for i, p in zip(ids, points):
+            self.add(int(i), p)
+
+    def _candidates_in_ring(self, center: "tuple[int, ...]", ring: int):
+        """Indices of stored points in cells at Chebyshev distance == ring."""
+        if ring == 0:
+            yield from self._cells.get(center, ())
+            return
+        for offset in itertools.product(range(-ring, ring + 1), repeat=self.dim):
+            if max(abs(o) for o in offset) != ring:
+                continue
+            key = tuple(c + o for c, o in zip(center, offset))
+            yield from self._cells.get(key, ())
+
+    def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
+        if not self._points or k <= 0:
+            return []
+        q = np.asarray(query, dtype=float)
+        self.stats.queries += 1
+        center = self._key(q)
+        best: list[tuple[float, int]] = []
+        ring = 0
+        # Expand rings until the k-th best distance is provably inside the
+        # searched shell.  Ring r guarantees coverage of all points within
+        # (r) * cell_size of the query's cell boundary.
+        max_ring = self._max_ring(center)
+        while ring <= max_ring:
+            for idx in self._candidates_in_ring(center, ring):
+                pid = self._ids[idx]
+                if pid == exclude:
+                    continue
+                self.stats.distance_evals += 1
+                d = float(np.linalg.norm(self._points[idx] - q))
+                best.append((d, pid))
+            if len(best) >= k:
+                best.sort()
+                kth = best[min(k, len(best)) - 1][0]
+                if kth <= ring * self.cell_size:
+                    break
+            ring += 1
+        best.sort()
+        return [(pid, d) for d, pid in best[:k]]
+
+    def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
+        if not self._points:
+            return []
+        q = np.asarray(query, dtype=float)
+        self.stats.queries += 1
+        center = self._key(q)
+        reach = int(np.ceil(r / self.cell_size)) + 1
+        found: list[tuple[float, int]] = []
+        for ring in range(reach + 1):
+            for idx in self._candidates_in_ring(center, ring):
+                pid = self._ids[idx]
+                if pid == exclude:
+                    continue
+                self.stats.distance_evals += 1
+                d = float(np.linalg.norm(self._points[idx] - q))
+                if d <= r:
+                    found.append((d, pid))
+        found.sort()
+        return [(pid, d) for d, pid in found]
+
+    def _max_ring(self, center: "tuple[int, ...]") -> int:
+        """Chebyshev distance from the query's cell to the farthest
+        occupied cell — the last ring that can contain a stored point."""
+        if not self._cells:
+            return 0
+        keys = np.array(list(self._cells.keys()))
+        return int(np.max(np.abs(keys - np.asarray(center)))) + 1
+
+    def __len__(self) -> int:
+        return len(self._points)

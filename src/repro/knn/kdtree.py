@@ -1,0 +1,140 @@
+"""A from-scratch kd-tree with incremental insertion.
+
+Supports the same interface as :class:`~repro.knn.brute.BruteForceNN` and
+is cross-validated against it property-style in the tests.  Insertion uses
+median-less splitting (cycle through axes at the insertion point), which
+keeps the tree adequately balanced for randomly ordered points — exactly
+what samplers produce.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .base import NeighborFinder
+
+__all__ = ["KDTreeNN"]
+
+
+class _Node:
+    __slots__ = ("point", "point_id", "axis", "left", "right")
+
+    def __init__(self, point: np.ndarray, point_id: int, axis: int):
+        self.point = point
+        self.point_id = point_id
+        self.axis = axis
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+
+
+class KDTreeNN(NeighborFinder):
+    """Incremental kd-tree over ``dim``-dimensional points."""
+
+    def __init__(self, dim: int):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self._root: _Node | None = None
+        self._n = 0
+
+    def add(self, point_id: int, point: np.ndarray) -> None:
+        pt = np.asarray(point, dtype=float).copy()
+        if pt.shape != (self.dim,):
+            raise ValueError(f"point must have shape ({self.dim},), got {pt.shape}")
+        if self._root is None:
+            self._root = _Node(pt, point_id, 0)
+        else:
+            node = self._root
+            while True:
+                axis = node.axis
+                if pt[axis] < node.point[axis]:
+                    if node.left is None:
+                        node.left = _Node(pt, point_id, (axis + 1) % self.dim)
+                        break
+                    node = node.left
+                else:
+                    if node.right is None:
+                        node.right = _Node(pt, point_id, (axis + 1) % self.dim)
+                        break
+                    node = node.right
+        self._n += 1
+
+    def add_batch(self, ids: np.ndarray, points: np.ndarray) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape[0] != points.shape[0]:
+            raise ValueError("ids and points length mismatch")
+        for i, p in zip(ids, points):
+            self.add(int(i), p)
+
+    # -- queries -----------------------------------------------------------
+    def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
+        if self._root is None or k <= 0:
+            return []
+        q = np.asarray(query, dtype=float)
+        self.stats.queries += 1
+        # Max-heap of (-dist, id) for the current best k.
+        heap: list[tuple[float, int]] = []
+
+        def visit(node: "_Node | None") -> None:
+            if node is None:
+                return
+            self.stats.distance_evals += 1
+            d = float(np.linalg.norm(node.point - q))
+            if node.point_id != exclude:
+                if len(heap) < k:
+                    heapq.heappush(heap, (-d, node.point_id))
+                elif d < -heap[0][0]:
+                    heapq.heapreplace(heap, (-d, node.point_id))
+            axis = node.axis
+            delta = q[axis] - node.point[axis]
+            near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
+            visit(near)
+            # Prune the far side unless the splitting plane is within reach.
+            if len(heap) < k or abs(delta) <= -heap[0][0]:
+                visit(far)
+
+        visit(self._root)
+        out = sorted(((-nd, pid) for nd, pid in heap))
+        return [(pid, d) for d, pid in out]
+
+    def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
+        if self._root is None:
+            return []
+        q = np.asarray(query, dtype=float)
+        self.stats.queries += 1
+        found: list[tuple[float, int]] = []
+
+        def visit(node: "_Node | None") -> None:
+            if node is None:
+                return
+            self.stats.distance_evals += 1
+            d = float(np.linalg.norm(node.point - q))
+            if d <= r and node.point_id != exclude:
+                found.append((d, node.point_id))
+            delta = q[node.axis] - node.point[node.axis]
+            near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
+            visit(near)
+            if abs(delta) <= r:
+                visit(far)
+
+        visit(self._root)
+        found.sort()
+        return [(pid, d) for d, pid in found]
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- diagnostics --------------------------------------------------------
+    def depth(self) -> int:
+        """Tree height (for balance diagnostics in tests)."""
+
+        def h(node: "_Node | None") -> int:
+            if node is None:
+                return 0
+            return 1 + max(h(node.left), h(node.right))
+
+        return h(self._root)

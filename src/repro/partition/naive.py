@@ -1,0 +1,63 @@
+"""Naive 1-D partitioning of a grid region mesh.
+
+The paper's baseline distribution: "a naive mapping of regions to
+processors would perform a 1D partitioning of the region mesh and assign
+a balanced number of region columns to processors" (Sec. IV-B).  The
+assignment ignores weights entirely — which is exactly why it exhibits a
+high coefficient of variation on non-uniform environments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..subdivision.region import RegionGraph
+from ..subdivision.uniform import BoxRegion, UniformSubdivision
+
+__all__ = ["partition_1d_columns", "partition_block"]
+
+
+def partition_1d_columns(subdivision: UniformSubdivision, num_pes: int, axis: int = 0) -> "dict[int, int]":
+    """Assign contiguous slabs of grid columns (along ``axis``) to PEs.
+
+    Columns are split as evenly as possible by *count*; every region in a
+    column goes to the same PE, preserving spatial contiguity.
+    """
+    if num_pes < 1:
+        raise ValueError("num_pes must be >= 1")
+    shape = subdivision.shape
+    if not 0 <= axis < len(shape):
+        raise ValueError(f"axis {axis} out of range for shape {shape}")
+    n_cols = shape[axis]
+    # Columns per PE, distributing the remainder to the first PEs.
+    base, extra = divmod(n_cols, num_pes)
+    col_to_pe = np.empty(n_cols, dtype=int)
+    col = 0
+    for pe in range(num_pes):
+        take = base + (1 if pe < extra else 0)
+        col_to_pe[col : col + take] = pe
+        col += take
+    assignment: "dict[int, int]" = {}
+    for region in subdivision.graph.regions():
+        idx = region.grid_index  # type: ignore[attr-defined]
+        assignment[region.id] = int(col_to_pe[idx[axis]])
+    return assignment
+
+
+def partition_block(graph: RegionGraph, num_pes: int) -> "dict[int, int]":
+    """Assign contiguous blocks of region ids to PEs (round-robin-free
+    blocked distribution) — the generic naive baseline when no grid
+    structure is available (e.g. radial subdivisions)."""
+    if num_pes < 1:
+        raise ValueError("num_pes must be >= 1")
+    ids = graph.region_ids()
+    n = len(ids)
+    base, extra = divmod(n, num_pes)
+    assignment: "dict[int, int]" = {}
+    pos = 0
+    for pe in range(num_pes):
+        take = base + (1 if pe < extra else 0)
+        for rid in ids[pos : pos + take]:
+            assignment[rid] = pe
+        pos += take
+    return assignment

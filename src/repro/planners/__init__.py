@@ -1,0 +1,25 @@
+"""Sequential sampling-based planners: PRM, RRT, queries, smoothing."""
+
+from .prm import PRM, PRMResult
+from .query import QueryResult, RoadmapQuery, astar, dijkstra
+from .roadmap import Roadmap, UnionFind
+from .rrt import RRT, RRTResult
+from .smoothing import path_length, shortcut_smooth
+from .stats import PlannerStats, WorkModel
+
+__all__ = [
+    "PRM",
+    "PRMResult",
+    "QueryResult",
+    "RoadmapQuery",
+    "astar",
+    "dijkstra",
+    "Roadmap",
+    "UnionFind",
+    "RRT",
+    "RRTResult",
+    "path_length",
+    "shortcut_smooth",
+    "PlannerStats",
+    "WorkModel",
+]

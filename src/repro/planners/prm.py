@@ -1,0 +1,205 @@
+"""Sequential Probabilistic Roadmap Method (Kavraki et al., 1996).
+
+This is the planner invoked inside each region by the uniform-subdivision
+parallel PRM (line 8 of Algorithm 1 in the paper).  It samples valid
+configurations, connects each to its k nearest neighbours with a local
+planner, and returns the regional roadmap together with the operation
+counts the virtual-time model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cspace.local_planner import StraightLinePlanner
+from ..cspace.sampling import UniformSampler
+from ..cspace.space import ConfigurationSpace
+from ..geometry.primitives import AABB
+from ..knn.brute import BruteForceNN
+from .roadmap import Roadmap
+from .stats import PlannerStats
+
+__all__ = ["PRM", "PRMResult"]
+
+
+@dataclass
+class PRMResult:
+    """Roadmap plus the work ledger for the invocation."""
+
+    roadmap: Roadmap
+    stats: PlannerStats
+
+
+class PRM:
+    """Sequential PRM.
+
+    Parameters
+    ----------
+    cspace:
+        The configuration space to plan in.
+    sampler:
+        A sampler from :mod:`repro.cspace.sampling` (default uniform).
+    local_planner:
+        Edge validator (default straight-line at resolution 0.25).
+    k:
+        Number of nearest-neighbour connection attempts per node.
+    connect_same_component:
+        If False (default), skip connection attempts between vertices
+        already in the same connected component — the standard PRM
+        optimisation.
+    nn_factory:
+        Callable ``dim -> NeighborFinder`` (default brute force, the right
+        choice at regional roadmap sizes).
+    """
+
+    def __init__(
+        self,
+        cspace: ConfigurationSpace,
+        sampler=None,
+        local_planner=None,
+        k: int = 6,
+        connect_same_component: bool = True,
+        nn_factory=None,
+    ):
+        self.cspace = cspace
+        self.sampler = sampler or UniformSampler()
+        self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.connect_same_component = connect_same_component
+        self.nn_factory = nn_factory or BruteForceNN
+
+    def build(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        within: AABB | None = None,
+        roadmap: Roadmap | None = None,
+        id_base: int = 0,
+    ) -> PRMResult:
+        """Construct (or extend) a roadmap with ``n_samples`` new samples.
+
+        ``within`` restricts sampling to a sub-box of C-space — this is how
+        regional roadmaps are built.  ``id_base`` offsets vertex ids so that
+        regional roadmaps have globally unique ids.
+        """
+        stats = PlannerStats()
+        rmap = roadmap if roadmap is not None else Roadmap(self.cspace.dim)
+
+        batch = self.sampler(self.cspace, rng, n_samples, within=within)
+        stats.sample_attempts += batch.attempts
+        stats.samples_accepted += len(batch)
+
+        nn = self.nn_factory(self.cspace.dim)
+        # Seed NN structure with pre-existing vertices (extension mode).
+        ids, cfgs = rmap.configs_array()
+        if ids.size:
+            nn.add_batch(ids, cfgs)
+
+        batched = not self.connect_same_component and hasattr(self.local_planner, "batch_pairs")
+        next_local = rmap.num_vertices
+        for cfg in batch.configs:
+            vid = id_base + next_local
+            next_local += 1
+            rmap.add_vertex(cfg, vid)
+
+            neighbors = nn.knn(cfg, self.k)
+            stats.nn_queries += 1
+            if batched and len(neighbors) > 1:
+                nbr_ids = [n for n, _d in neighbors]
+                ends = np.stack([rmap.config(n) for n in nbr_ids])
+                starts = np.broadcast_to(cfg, ends.shape)
+                ok, checks, lengths = self.local_planner.batch_pairs(self.cspace, starts, ends)
+                stats.lp_calls += len(nbr_ids)
+                stats.lp_checks += checks
+                for i, nbr_id in enumerate(nbr_ids):
+                    if ok[i]:
+                        stats.lp_successes += 1
+                        if rmap.add_edge(vid, nbr_id, float(lengths[i])):
+                            stats.edges_added += 1
+            else:
+                for nbr_id, _dist in neighbors:
+                    if self.connect_same_component and rmap.same_component(vid, nbr_id):
+                        continue
+                    result = self.local_planner(self.cspace, cfg, rmap.config(nbr_id))
+                    stats.lp_calls += 1
+                    stats.lp_checks += result.checks
+                    if result.valid:
+                        stats.lp_successes += 1
+                        if rmap.add_edge(vid, nbr_id, result.length):
+                            stats.edges_added += 1
+            nn.add(vid, cfg)
+        stats.nn_distance_evals += nn.stats.distance_evals
+        return PRMResult(rmap, stats)
+
+    def connect_roadmaps(
+        self,
+        rmap: Roadmap,
+        ids_a: np.ndarray,
+        ids_b: np.ndarray,
+        k: int | None = None,
+        max_attempts: int | None = None,
+    ) -> PlannerStats:
+        """Attempt connections between two vertex sets of one merged roadmap.
+
+        Used for the inter-region connection phase (lines 10-12 of
+        Algorithm 1): for each vertex in ``ids_a``, try its ``k`` nearest
+        vertices in ``ids_b``.
+        """
+        stats = PlannerStats()
+        k = k or self.k
+        ids_b = np.asarray(ids_b, dtype=np.int64)
+        if ids_b.size == 0 or len(ids_a) == 0:
+            return stats
+        nn = self.nn_factory(self.cspace.dim)
+        nn.add_batch(ids_b, np.stack([rmap.config(int(i)) for i in ids_b]))
+        batched = not self.connect_same_component and hasattr(self.local_planner, "batch_pairs")
+        if batched:
+            # Collect all (u, v) candidate pairs, then validate in one batch.
+            pairs: "list[tuple[int, int]]" = []
+            for u in np.asarray(ids_a, dtype=np.int64):
+                u = int(u)
+                stats.nn_queries += 1
+                for v, _dist in nn.knn(rmap.config(u), k):
+                    pairs.append((u, v))
+                    if max_attempts is not None and len(pairs) >= max_attempts:
+                        break
+                if max_attempts is not None and len(pairs) >= max_attempts:
+                    break
+            if pairs:
+                starts = np.stack([rmap.config(u) for u, _v in pairs])
+                ends = np.stack([rmap.config(v) for _u, v in pairs])
+                ok, checks, lengths = self.local_planner.batch_pairs(self.cspace, starts, ends)
+                stats.lp_calls += len(pairs)
+                stats.lp_checks += checks
+                for i, (u, v) in enumerate(pairs):
+                    if ok[i]:
+                        stats.lp_successes += 1
+                        if rmap.add_edge(u, v, float(lengths[i])):
+                            stats.edges_added += 1
+            stats.nn_distance_evals += nn.stats.distance_evals
+            return stats
+        attempts = 0
+        for u in np.asarray(ids_a, dtype=np.int64):
+            u = int(u)
+            cfg = rmap.config(u)
+            stats.nn_queries += 1
+            for v, _dist in nn.knn(cfg, k):
+                if max_attempts is not None and attempts >= max_attempts:
+                    stats.nn_distance_evals += nn.stats.distance_evals
+                    return stats
+                if self.connect_same_component and rmap.same_component(u, v):
+                    continue
+                attempts += 1
+                result = self.local_planner(self.cspace, cfg, rmap.config(v))
+                stats.lp_calls += 1
+                stats.lp_checks += result.checks
+                if result.valid:
+                    stats.lp_successes += 1
+                    if rmap.add_edge(u, v, result.length):
+                        stats.edges_added += 1
+        stats.nn_distance_evals += nn.stats.distance_evals
+        return stats

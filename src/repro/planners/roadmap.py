@@ -1,0 +1,208 @@
+"""Roadmap graph: the data structure PRM and RRT build.
+
+A small, dependency-free adjacency-list graph specialised for motion
+planning: vertices carry configurations, edges carry C-space lengths, and
+connected components are tracked incrementally with a union-find so that
+"would this edge merge two components?" — the question PRM connection
+strategies ask constantly — is O(α(n)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Roadmap", "UnionFind"]
+
+
+class UnionFind:
+    """Union-find with path compression and union by rank."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+        self._rank: dict[int, int] = {}
+        self.num_sets = 0
+
+    def make_set(self, x: int) -> None:
+        if x not in self._parent:
+            self._parent[x] = x
+            self._rank[x] = 0
+            self.num_sets += 1
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self.num_sets -= 1
+        return True
+
+    def same_set(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def __contains__(self, x: int) -> bool:
+        return x in self._parent
+
+
+class Roadmap:
+    """Undirected graph of configurations.
+
+    Vertex ids are non-negative integers.  By default they are assigned
+    sequentially, but callers may supply explicit ids (the distributed
+    planners use globally unique ids of the form ``region_id << 32 | local``).
+    """
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self._configs: dict[int, np.ndarray] = {}
+        self._adj: dict[int, dict[int, float]] = {}
+        self._next_id = 0
+        self._uf = UnionFind()
+        self.num_edges = 0
+
+    # -- vertices ---------------------------------------------------------
+    def add_vertex(self, config: np.ndarray, vid: int | None = None) -> int:
+        cfg = np.asarray(config, dtype=float)
+        if cfg.shape != (self.dim,):
+            raise ValueError(f"config must have shape ({self.dim},), got {cfg.shape}")
+        if vid is None:
+            vid = self._next_id
+        if vid in self._configs:
+            raise KeyError(f"vertex {vid} already exists")
+        self._next_id = max(self._next_id, vid + 1)
+        self._configs[vid] = cfg.copy()
+        self._adj[vid] = {}
+        self._uf.make_set(vid)
+        return vid
+
+    def config(self, vid: int) -> np.ndarray:
+        return self._configs[vid]
+
+    def has_vertex(self, vid: int) -> bool:
+        return vid in self._configs
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._configs)
+
+    def vertices(self):
+        return self._configs.keys()
+
+    def configs_array(self) -> "tuple[np.ndarray, np.ndarray]":
+        """All vertex ids and configurations as arrays (stable order)."""
+        if not self._configs:
+            return np.empty(0, dtype=np.int64), np.empty((0, self.dim))
+        ids = np.fromiter(self._configs.keys(), dtype=np.int64, count=len(self._configs))
+        cfgs = np.stack([self._configs[i] for i in ids])
+        return ids, cfgs
+
+    # -- edges --------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float | None = None) -> bool:
+        """Insert undirected edge; returns False if it already existed."""
+        if u == v:
+            raise ValueError("self-loops are not allowed in a roadmap")
+        if u not in self._configs or v not in self._configs:
+            raise KeyError(f"edge ({u},{v}) references missing vertex")
+        if v in self._adj[u]:
+            return False
+        w = float(np.linalg.norm(self._configs[u] - self._configs[v])) if weight is None else float(weight)
+        self._adj[u][v] = w
+        self._adj[v][u] = w
+        self._uf.union(u, v)
+        self.num_edges += 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete an undirected edge (component tracking is rebuilt lazily:
+        union-find does not support splits, so callers needing exact
+        components after removal should use :meth:`connected_components`)."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u},{v}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self.num_edges -= 1
+
+    def neighbors(self, vid: int) -> "dict[int, float]":
+        return self._adj[vid]
+
+    def degree(self, vid: int) -> int:
+        return len(self._adj[vid])
+
+    def edges(self):
+        """Iterate undirected edges once, as (u, v, weight) with u < v."""
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u < v:
+                    yield u, v, w
+
+    # -- components ------------------------------------------------------------
+    def same_component(self, u: int, v: int) -> bool:
+        """Fast, union-find-based check (exact as long as no edges were removed)."""
+        return self._uf.same_set(u, v)
+
+    @property
+    def num_components_fast(self) -> int:
+        return self._uf.num_sets
+
+    def connected_components(self) -> "list[set[int]]":
+        """Exact connected components by BFS (robust to edge removals)."""
+        seen: set[int] = set()
+        comps: list[set[int]] = []
+        for start in self._configs:
+            if start in seen:
+                continue
+            comp = {start}
+            frontier = [start]
+            while frontier:
+                u = frontier.pop()
+                for v in self._adj[u]:
+                    if v not in comp:
+                        comp.add(v)
+                        frontier.append(v)
+            seen |= comp
+            comps.append(comp)
+        return comps
+
+    # -- merging (used to stitch regional roadmaps into one) -------------------
+    def merge(self, other: "Roadmap") -> None:
+        """Graph union of ``other`` into self; vertex ids must be disjoint
+        or refer to identical configurations."""
+        if other.dim != self.dim:
+            raise ValueError("cannot merge roadmaps of different dimension")
+        for vid, cfg in other._configs.items():
+            if vid in self._configs:
+                if not np.allclose(self._configs[vid], cfg):
+                    raise ValueError(f"vertex id clash with different configs: {vid}")
+            else:
+                self.add_vertex(cfg, vid)
+        for u, v, w in other.edges():
+            self.add_edge(u, v, w)
+
+    # -- paths --------------------------------------------------------------
+    def path_length(self, path: "list[int]") -> float:
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            if not self.has_edge(u, v):
+                raise KeyError(f"path uses missing edge ({u},{v})")
+            total += self._adj[u][v]
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Roadmap(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,166 @@
+"""Sequential Rapidly-exploring Random Tree (LaValle & Kuffner, 2001).
+
+Also the regional planner of the uniform *radial* subdivision parallel
+RRT (line 11 of Algorithm 2): the tree can be constrained to a region
+(a predicate over configurations) and biased toward a target direction,
+matching the paper's conical regions whose growth is "biased toward the
+region candidate defined by the random ray".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..cspace.local_planner import StraightLinePlanner
+from ..cspace.space import ConfigurationSpace
+from ..knn.brute import BruteForceNN
+from .roadmap import Roadmap
+from .stats import PlannerStats
+
+__all__ = ["RRT", "RRTResult"]
+
+
+@dataclass
+class RRTResult:
+    """Tree (as a roadmap plus parent pointers) and the work ledger."""
+
+    tree: Roadmap
+    parents: "dict[int, int]"
+    root_id: int
+    stats: PlannerStats
+
+    def path_to_root(self, vid: int) -> "list[int]":
+        path = [vid]
+        while path[-1] != self.root_id:
+            path.append(self.parents[path[-1]])
+        return path
+
+
+class RRT:
+    """Sequential RRT with optional region constraint and growth bias.
+
+    Parameters
+    ----------
+    cspace:
+        Configuration space.
+    step_size:
+        Maximum extension length ``Δq``.
+    local_planner:
+        Validator for each extension segment.
+    goal_bias:
+        Probability of sampling the bias target instead of uniformly.
+    nn_factory:
+        ``dim -> NeighborFinder``.
+    """
+
+    def __init__(
+        self,
+        cspace: ConfigurationSpace,
+        step_size: float = 0.5,
+        local_planner=None,
+        goal_bias: float = 0.05,
+        nn_factory=None,
+    ):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 <= goal_bias <= 1.0:
+            raise ValueError("goal_bias must be in [0, 1]")
+        self.cspace = cspace
+        self.step_size = step_size
+        self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
+        self.goal_bias = goal_bias
+        self.nn_factory = nn_factory or BruteForceNN
+
+    def grow(
+        self,
+        root: np.ndarray,
+        n_nodes: int,
+        rng: np.random.Generator,
+        bias_target: np.ndarray | None = None,
+        region_predicate: "Callable[[np.ndarray], bool] | None" = None,
+        max_iterations: int | None = None,
+        tree: Roadmap | None = None,
+        parents: "dict[int, int] | None" = None,
+        root_id: int | None = None,
+        id_base: int = 0,
+        goal: np.ndarray | None = None,
+        goal_tolerance: float = 0.0,
+    ) -> RRTResult:
+        """Grow a tree of up to ``n_nodes`` nodes rooted at ``root``.
+
+        ``region_predicate`` restricts accepted nodes to a region (the
+        radial subdivision cones); ``bias_target`` is the configuration
+        toward which ``goal_bias`` of the samples are drawn.  When ``goal``
+        is given, growth stops as soon as a node lands within
+        ``goal_tolerance`` of it.
+        """
+        stats = PlannerStats()
+        root = np.asarray(root, dtype=float)
+        if tree is None:
+            tree = Roadmap(self.cspace.dim)
+            if not self.cspace.valid_single(root):
+                raise ValueError("RRT root configuration is invalid")
+            stats.sample_attempts += 1
+            root_id = tree.add_vertex(root, id_base)
+            parents = {root_id: root_id}
+        else:
+            if parents is None or root_id is None:
+                raise ValueError("extending an existing tree requires parents and root_id")
+
+        nn = self.nn_factory(self.cspace.dim)
+        ids, cfgs = tree.configs_array()
+        nn.add_batch(ids, cfgs)
+        next_local = tree.num_vertices
+
+        max_iterations = max_iterations if max_iterations is not None else 20 * n_nodes
+        added = 0
+        goal_reached: int | None = None
+        for _ in range(max_iterations):
+            if added >= n_nodes or goal_reached is not None:
+                break
+            # -- sample q_rand ------------------------------------------------
+            if bias_target is not None and rng.random() < self.goal_bias:
+                q_rand = np.asarray(bias_target, dtype=float)
+            elif goal is not None and rng.random() < self.goal_bias:
+                q_rand = np.asarray(goal, dtype=float)
+            else:
+                q_rand = self.cspace.sample(rng)
+            # -- find q_near ---------------------------------------------------
+            stats.nn_queries += 1
+            near = nn.knn(q_rand, 1)
+            if not near:
+                break
+            near_id, dist = near[0]
+            q_near = tree.config(near_id)
+            if dist == 0.0:
+                continue
+            # -- extend toward q_rand by at most step_size --------------------
+            t = min(self.step_size / dist, 1.0)
+            q_new = self.cspace.interpolate(q_near, q_rand, t)
+            stats.sample_attempts += 1
+            if not self.cspace.valid_single(q_new):
+                continue
+            if region_predicate is not None and not region_predicate(q_new):
+                continue
+            result = self.local_planner(self.cspace, q_near, q_new)
+            stats.lp_calls += 1
+            stats.lp_checks += result.checks
+            if not result.valid:
+                continue
+            stats.lp_successes += 1
+            vid = id_base + next_local
+            next_local += 1
+            tree.add_vertex(q_new, vid)
+            tree.add_edge(near_id, vid, result.length)
+            stats.edges_added += 1
+            parents[vid] = near_id
+            nn.add(vid, q_new)
+            added += 1
+            if goal is not None and float(self.cspace.distance(q_new, goal)) <= goal_tolerance:
+                goal_reached = vid
+        stats.nn_distance_evals += nn.stats.distance_evals
+        stats.samples_accepted += added
+        return RRTResult(tree, parents, root_id, stats)

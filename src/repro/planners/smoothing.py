@@ -1,0 +1,49 @@
+"""Path post-processing: shortcut smoothing.
+
+Not part of the paper's evaluation, but any planner a downstream user
+adopts needs it; included for completeness of the planning substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cspace.local_planner import StraightLinePlanner
+from ..cspace.space import ConfigurationSpace
+
+__all__ = ["shortcut_smooth", "path_length"]
+
+
+def path_length(cspace: ConfigurationSpace, configs: np.ndarray) -> float:
+    """Total C-space length of a piecewise-linear path."""
+    configs = np.atleast_2d(np.asarray(configs, dtype=float))
+    total = 0.0
+    for a, b in zip(configs[:-1], configs[1:]):
+        total += float(cspace.distance(a, b))
+    return total
+
+
+def shortcut_smooth(
+    cspace: ConfigurationSpace,
+    configs: np.ndarray,
+    rng: np.random.Generator,
+    iterations: int = 64,
+    local_planner=None,
+) -> np.ndarray:
+    """Random shortcut smoothing: repeatedly try to replace a sub-path with
+    a straight valid segment.  Never increases path length."""
+    lp = local_planner or StraightLinePlanner(resolution=0.25)
+    path = [np.asarray(c, dtype=float) for c in np.atleast_2d(configs)]
+    for _ in range(iterations):
+        if len(path) < 3:
+            break
+        i, j = sorted(rng.choice(len(path), size=2, replace=False))
+        if j - i < 2:
+            continue
+        result = lp(cspace, path[i], path[j])
+        if result.valid:
+            # Only keep the shortcut if it is actually shorter.
+            old = path_length(cspace, np.stack(path[i : j + 1]))
+            if result.length < old:
+                path = path[: i + 1] + path[j:]
+    return np.stack(path)

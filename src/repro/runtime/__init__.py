@@ -1,0 +1,25 @@
+"""Simulated distributed-memory runtime (the STAPL stand-in)."""
+
+from .local_pool import PoolResult, run_tasks_parallel
+from .pgraph import AccessStats, PGraphView
+from .simulator import StealPolicy, WorkStealingSimulator, run_static_phase
+from .stats import PEStats, SimResult
+from .termination import TokenRingDetector, detection_delay, detection_delay_tree
+from .topology import ClusterTopology, mesh_shape_for
+
+__all__ = [
+    "PoolResult",
+    "run_tasks_parallel",
+    "AccessStats",
+    "PGraphView",
+    "StealPolicy",
+    "WorkStealingSimulator",
+    "run_static_phase",
+    "PEStats",
+    "SimResult",
+    "TokenRingDetector",
+    "detection_delay",
+    "detection_delay_tree",
+    "ClusterTopology",
+    "mesh_shape_for",
+]

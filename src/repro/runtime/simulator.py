@@ -1,0 +1,309 @@
+"""Event-driven simulator of a distributed-memory work-stealing machine.
+
+This is the repository's stand-in for the STAPL runtime on the paper's
+Cray XE6 / Opteron clusters.  Each processing element (PE) owns a deque of
+tasks (regions) and a virtual clock.  Executing a task charges its cost —
+obtained from the *real* sequential planner's operation counts — to the
+PE's clock.  When a PE's deque runs dry it issues steal requests according
+to a pluggable victim-selection policy; requests, replies and task
+transfers pay topology-dependent latency (ownership transfer, Sec. II-A).
+
+The simulation is deterministic: events are ordered by ``(time, seq)``
+where ``seq`` is a monotone tie-breaker, and all randomness flows from an
+explicit generator.
+
+Protocol summary
+----------------
+* A PE executes tasks from the *front* of its deque.
+* A thief sends one steal request per victim per round; a victim services
+  requests at arrival (communication is offloaded, as in an RDMA-capable
+  runtime) by handing over the *back* half of its deque (configurable),
+  keeping at least ``min_keep`` tasks.
+* Failed rounds retry with exponential backoff until global work is
+  exhausted; retries model the "few processors are able to find work"
+  behaviour at scale (Fig. 9b).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from .stats import PEStats, SimResult
+from .topology import ClusterTopology
+
+__all__ = ["StealPolicy", "WorkStealingSimulator", "run_static_phase"]
+
+
+class StealPolicy(Protocol):
+    """Victim-selection strategy (RAND-K / DIFFUSIVE / HYBRID live in
+    :mod:`repro.core.work_stealing`)."""
+
+    name: str
+
+    def select_victims(
+        self,
+        thief: int,
+        round_index: int,
+        topology: ClusterTopology,
+        rng: np.random.Generator,
+    ) -> "list[int]":
+        """PEs to request work from in this round (may be empty)."""
+        ...
+
+
+@dataclass
+class _Event:
+    time: float
+    seq: int
+    kind: str
+    pe: int
+    payload: object = None
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class WorkStealingSimulator:
+    """Simulate one bulk phase of task execution with optional stealing.
+
+    Parameters
+    ----------
+    topology:
+        Machine model (latencies, mesh, nodes).
+    executor:
+        ``executor(task_id, pe) -> float`` returns the virtual cost of the
+        task; side effects (building the actual roadmap) happen inside.
+    steal_policy:
+        ``None`` disables stealing (static execution).
+    steal_chunk:
+        ``"half"`` (default) transfers half the victim's stealable deque;
+        an int transfers at most that many tasks.
+    min_keep:
+        Victim never gives away its last ``min_keep`` queued tasks.
+    transfer_cost:
+        Extra latency per transferred task (ownership-transfer overhead).
+    max_idle_rounds:
+        Backoff cap; a thief never stops retrying before global
+        exhaustion, but waits at most ``backoff_base * 2**cap`` between
+        rounds.
+    offload_service:
+        When True, steal requests are serviced the instant they arrive
+        (an RDMA-style communication thread).  The default (False) is the
+        non-preemptive model: a busy victim replies only between tasks,
+        which is how a single-threaded SPMD runtime behaves.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        executor: Callable[[int, int], float],
+        steal_policy: "StealPolicy | None" = None,
+        steal_chunk: "str | int" = "half",
+        min_keep: int = 1,
+        transfer_cost: float = 2.0,
+        backoff_base: float = 1.0,
+        max_idle_rounds: int = 6,
+        offload_service: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        if isinstance(steal_chunk, int) and steal_chunk < 1:
+            raise ValueError("integer steal_chunk must be >= 1")
+        if min_keep < 0:
+            raise ValueError("min_keep must be >= 0")
+        self.topology = topology
+        self.executor = executor
+        self.steal_policy = steal_policy
+        self.steal_chunk = steal_chunk
+        self.min_keep = min_keep
+        self.transfer_cost = transfer_cost
+        self.backoff_base = backoff_base
+        self.max_idle_rounds = max_idle_rounds
+        self.offload_service = offload_service
+        self.rng = rng or np.random.default_rng(0)
+
+    # -- public API ---------------------------------------------------------
+    def run(self, assignment: "dict[int, int]") -> SimResult:
+        """Execute all tasks given the initial ``task -> PE`` assignment."""
+        P = self.topology.num_pes
+        for task, pe in assignment.items():
+            if not 0 <= pe < P:
+                raise ValueError(f"task {task} assigned to invalid PE {pe}")
+
+        self._deques: "list[deque[int]]" = [deque() for _ in range(P)]
+        # Stable initial order: sorted task ids per PE.
+        for task in sorted(assignment):
+            self._deques[assignment[task]].append(task)
+
+        self._stats = [PEStats(pe=p) for p in range(P)]
+        self._clock = np.zeros(P)
+        self._busy = np.zeros(P, dtype=bool)
+        self._stolen_marks: "set[int]" = set()
+        self._executed_by: "dict[int, int]" = {}
+        self._task_costs: "dict[int, float]" = {}
+        self._remaining = len(assignment)
+        self._queued_requests: "list[list[int]]" = [[] for _ in range(P)]
+        self._pending_replies = np.zeros(P, dtype=int)
+        self._round_found = np.zeros(P, dtype=bool)
+        self._idle_rounds = np.zeros(P, dtype=int)
+        self._events: "list[_Event]" = []
+        self._seq = 0
+        self._makespan = 0.0
+        self._end_time = 0.0
+        self._messages = 0
+
+        for p in range(P):
+            self._activate(p, 0.0)
+
+        while self._events:
+            ev = heapq.heappop(self._events)
+            self._end_time = max(self._end_time, ev.time)
+            getattr(self, f"_on_{ev.kind}")(ev)
+
+        return SimResult(
+            pe_stats=self._stats,
+            executed_by=self._executed_by,
+            task_costs=self._task_costs,
+            makespan=self._makespan,
+            end_time=self._end_time,
+            total_messages=self._messages,
+        )
+
+    # -- internals ---------------------------------------------------------
+    def _push_event(self, time: float, kind: str, pe: int, payload: object = None) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, _Event(time, self._seq, kind, pe, payload))
+
+    def _activate(self, pe: int, now: float) -> None:
+        """Give PE its next unit of work, or start stealing, or go idle."""
+        if self._busy[pe]:
+            return
+        dq = self._deques[pe]
+        if dq:
+            task = dq.popleft()
+            cost = float(self.executor(task, pe))
+            if cost < 0:
+                raise ValueError(f"executor returned negative cost for task {task}")
+            self._busy[pe] = True
+            self._executed_by[task] = pe
+            self._task_costs[task] = cost
+            st = self._stats[pe]
+            st.tasks_executed += 1
+            st.work_time += cost
+            if task in self._stolen_marks:
+                st.tasks_stolen_executed += 1
+            self._clock[pe] = now + cost
+            self._push_event(now + cost, "task_done", pe, payload=task)
+            return
+        if self.steal_policy is not None and self._remaining > 0 and self._pending_replies[pe] == 0:
+            self._start_steal_round(pe, now)
+        # Otherwise: idle; will be woken by a steal reply or stay idle at end.
+
+    def _on_task_done(self, ev: _Event) -> None:
+        pe = ev.pe
+        self._busy[pe] = False
+        self._remaining -= 1
+        self._makespan = max(self._makespan, ev.time)
+        self._stats[pe].finish_time = ev.time
+        # Non-preemptive service: reply to thieves that knocked while we
+        # were executing, before picking up the next task.
+        while self._queued_requests[pe]:
+            thief = self._queued_requests[pe].pop(0)
+            self._service_steal(pe, thief, ev.time)
+        self._activate(pe, ev.time)
+
+    def _start_steal_round(self, pe: int, now: float) -> None:
+        victims = self.steal_policy.select_victims(
+            pe, int(self._idle_rounds[pe]), self.topology, self.rng
+        )
+        victims = [v for v in victims if v != pe]
+        if not victims:
+            self._schedule_retry(pe, now)
+            return
+        self._round_found[pe] = False
+        self._pending_replies[pe] = len(victims)
+        st = self._stats[pe]
+        for v in victims:
+            st.steal_requests_sent += 1
+            st.messages_sent += 1
+            self._messages += 1
+            self._push_event(
+                now + self.topology.latency(pe, v), "steal_request", v, payload=pe
+            )
+
+    def _on_steal_request(self, ev: _Event) -> None:
+        victim, thief = ev.pe, ev.payload
+        self._stats[victim].steal_requests_received += 1
+        if self._busy[victim] and not self.offload_service:
+            self._queued_requests[victim].append(thief)
+            return
+        self._service_steal(victim, thief, ev.time)
+
+    def _service_steal(self, victim: int, thief: int, now: float) -> None:
+        vst = self._stats[victim]
+        dq = self._deques[victim]
+        stealable = len(dq) - self.min_keep
+        if stealable > 0:
+            if self.steal_chunk == "half":
+                n = max(stealable // 2, 1)
+            else:
+                n = min(int(self.steal_chunk), stealable)
+            tasks = [dq.pop() for _ in range(n)]  # steal from the back
+            vst.steals_serviced += 1
+            vst.tasks_lost += n
+            vst.messages_sent += 1
+            self._messages += 1
+            delay = self.topology.latency(victim, thief, payload=n) + self.transfer_cost * n
+            self._push_event(now + delay, "steal_reply", thief, payload=tasks)
+        else:
+            vst.steals_failed += 1
+            vst.messages_sent += 1
+            self._messages += 1
+            self._push_event(
+                now + self.topology.latency(victim, thief), "steal_reply", thief, payload=[]
+            )
+
+    def _on_steal_reply(self, ev: _Event) -> None:
+        thief = ev.pe
+        tasks: "list[int]" = ev.payload
+        now = ev.time
+        self._pending_replies[thief] -= 1
+        if tasks:
+            self._round_found[thief] = True
+            self._idle_rounds[thief] = 0
+            for t in tasks:
+                self._stolen_marks.add(t)
+                self._deques[thief].append(t)
+            self._activate(thief, now)
+        elif self._pending_replies[thief] == 0 and not self._round_found[thief]:
+            # Whole round failed: back off and retry while work remains.
+            self._idle_rounds[thief] += 1
+            self._schedule_retry(thief, now)
+
+    def _schedule_retry(self, pe: int, now: float) -> None:
+        if self._remaining <= 0:
+            return
+        wait = self.backoff_base * (2.0 ** min(int(self._idle_rounds[pe]), self.max_idle_rounds))
+        self._push_event(now + wait, "retry", pe)
+
+    def _on_retry(self, ev: _Event) -> None:
+        pe = ev.pe
+        if self._busy[pe] or self._deques[pe]:
+            self._activate(pe, ev.time)
+            return
+        if self._remaining > 0 and self._pending_replies[pe] == 0:
+            self._start_steal_round(pe, ev.time)
+
+
+def run_static_phase(
+    topology: ClusterTopology,
+    executor: Callable[[int, int], float],
+    assignment: "dict[int, int]",
+) -> SimResult:
+    """Execute a phase with no load balancing (the paper's baseline)."""
+    sim = WorkStealingSimulator(topology, executor, steal_policy=None)
+    return sim.run(assignment)

@@ -1,0 +1,75 @@
+"""Per-PE and machine-wide statistics collected by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PEStats", "SimResult"]
+
+
+@dataclass
+class PEStats:
+    """One processing element's ledger for a simulated phase."""
+
+    pe: int
+    work_time: float = 0.0
+    finish_time: float = 0.0
+    tasks_executed: int = 0
+    tasks_stolen_executed: int = 0
+    steal_requests_sent: int = 0
+    steal_requests_received: int = 0
+    steals_serviced: int = 0
+    steals_failed: int = 0
+    tasks_lost: int = 0
+    messages_sent: int = 0
+
+    @property
+    def tasks_local_executed(self) -> int:
+        return self.tasks_executed - self.tasks_stolen_executed
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated phase across the whole machine."""
+
+    pe_stats: "list[PEStats]"
+    #: task id -> PE that executed it.
+    executed_by: "dict[int, int]"
+    #: task id -> virtual cost charged for it.
+    task_costs: "dict[int, float]"
+    #: virtual time when the last task completed.
+    makespan: float
+    #: virtual time when the last event (incl. messages) was processed.
+    end_time: float
+    total_messages: int
+
+    @property
+    def num_pes(self) -> int:
+        return len(self.pe_stats)
+
+    def work_times(self) -> np.ndarray:
+        return np.array([s.work_time for s in self.pe_stats])
+
+    def finish_times(self) -> np.ndarray:
+        return np.array([s.finish_time for s in self.pe_stats])
+
+    def tasks_per_pe(self) -> np.ndarray:
+        return np.array([s.tasks_executed for s in self.pe_stats])
+
+    def stolen_per_pe(self) -> np.ndarray:
+        return np.array([s.tasks_stolen_executed for s in self.pe_stats])
+
+    def total_work(self) -> float:
+        return float(self.work_times().sum())
+
+    def ideal_makespan(self) -> float:
+        """Perfect balance bound: total work / P (ignores quantisation)."""
+        return self.total_work() / self.num_pes
+
+    def efficiency(self) -> float:
+        """Fraction of the machine's time spent doing useful work."""
+        if self.makespan == 0.0:
+            return 1.0
+        return self.total_work() / (self.makespan * self.num_pes)

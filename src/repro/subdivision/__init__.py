@@ -1,0 +1,15 @@
+"""Spatial subdivision of C-space into region graphs."""
+
+from .radial import ConeRegion, RadialSubdivision
+from .region import Region, RegionGraph
+from .uniform import BoxRegion, UniformSubdivision, grid_shape_for
+
+__all__ = [
+    "ConeRegion",
+    "RadialSubdivision",
+    "Region",
+    "RegionGraph",
+    "BoxRegion",
+    "UniformSubdivision",
+    "grid_shape_for",
+]

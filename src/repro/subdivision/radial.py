@@ -1,0 +1,157 @@
+"""Uniform radial subdivision for parallel RRT (Algorithm 2, lines 1-9).
+
+A hypersphere of radius ``r`` is centred at the tree root; ``Nr`` points
+are sampled on its surface, each defining a conical region around the ray
+from the root through the point.  The region graph connects each region
+to its ``k`` nearest regions (by surface point distance).  Membership in a
+cone is angular: a configuration belongs to the region whose ray is
+nearest in angle, with an ``overlap`` margin (in radians) so branches can
+explore slightly into neighbouring cones, as the paper allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.primitives import Sphere
+from .region import Region, RegionGraph
+
+__all__ = ["ConeRegion", "RadialSubdivision"]
+
+
+@dataclass
+class ConeRegion(Region):
+    """Conical region around the ray root -> target."""
+
+    root: np.ndarray = None  # type: ignore[assignment]
+    target: np.ndarray = None  # type: ignore[assignment]
+    half_angle: float = 0.0
+    overlap: float = 0.0
+    radius: float = 0.0
+
+    @property
+    def direction(self) -> np.ndarray:
+        d = self.target - self.root
+        return d / np.linalg.norm(d)
+
+    def angle_to(self, config: np.ndarray) -> float:
+        """Angle between the region ray and the root->config direction."""
+        v = np.asarray(config, dtype=float)[: self.root.shape[0]] - self.root
+        n = np.linalg.norm(v)
+        if n == 0.0:
+            return 0.0
+        c = float(np.clip(np.dot(v / n, self.direction), -1.0, 1.0))
+        return float(np.arccos(c))
+
+    def contains(self, config: np.ndarray) -> bool:
+        pos = np.asarray(config, dtype=float)[: self.root.shape[0]]
+        if np.linalg.norm(pos - self.root) > self.radius:
+            return False
+        return self.angle_to(pos) <= self.half_angle + self.overlap
+
+
+class RadialSubdivision:
+    """Radial (conical) subdivision of the positional space.
+
+    Parameters
+    ----------
+    root:
+        Positional coordinates of the RRT root ``q_root``.
+    radius:
+        Sphere radius ``r`` (how far branches may grow).
+    num_regions:
+        Number of surface points / conical regions ``Nr``.
+    k:
+        Each region is adjacent to its ``k`` nearest regions.
+    overlap:
+        Angular overlap in radians allowed beyond the nominal half-angle.
+    rng:
+        Source of randomness for the surface points.
+    """
+
+    def __init__(
+        self,
+        root: np.ndarray,
+        radius: float,
+        num_regions: int,
+        k: int = 4,
+        overlap: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if num_regions < 1:
+            raise ValueError("num_regions must be >= 1")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.root = np.asarray(root, dtype=float)
+        self.radius = float(radius)
+        self.num_regions = int(num_regions)
+        self.k = min(k, num_regions - 1) if num_regions > 1 else 0
+        self.overlap = float(overlap)
+        rng = rng or np.random.default_rng(0)
+
+        sphere = Sphere(self.root, self.radius)
+        targets = np.atleast_2d(sphere.surface_sample(rng, self.num_regions))
+        # Order regions angularly (lexicographic on direction cosines):
+        # region ids then sweep the sphere coherently, the radial analogue
+        # of the row-major ordering a mesh-distributed container uses, so
+        # a blocked naive assignment owns contiguous angular sectors.
+        order = np.lexsort(targets.T[::-1])
+        self.targets = targets[order]
+        # Nominal half-angle from the surface density: each cone covers
+        # ~1/Nr of the sphere's solid angle; for a d-sphere the cap with
+        # fraction f has cos(theta) ≈ 1 - 2 f^(2/(d-1)) — we use the
+        # simpler equal-angle heuristic theta = pi * (1/Nr)^(1/(d-1)).
+        d = self.root.shape[0]
+        exponent = 1.0 / max(d - 1, 1)
+        self.half_angle = float(np.pi * (1.0 / self.num_regions) ** exponent)
+
+        self.graph = self._build()
+
+    def _build(self) -> RegionGraph:
+        graph = RegionGraph()
+        for i, target in enumerate(self.targets):
+            graph.add_region(
+                ConeRegion(
+                    id=i,
+                    root=self.root,
+                    target=target,
+                    half_angle=self.half_angle,
+                    overlap=self.overlap,
+                    radius=self.radius,
+                )
+            )
+        if self.num_regions > 1 and self.k > 0:
+            # k nearest surface points define adjacency (Alg. 2 lines 4-9).
+            diffs = self.targets[:, None, :] - self.targets[None, :, :]
+            dist = np.linalg.norm(diffs, axis=2)
+            np.fill_diagonal(dist, np.inf)
+            for i in range(self.num_regions):
+                for j in np.argsort(dist[i], kind="stable")[: self.k]:
+                    if int(j) != i:
+                        graph.add_adjacency(i, int(j))
+        return graph
+
+    # -- queries --------------------------------------------------------------
+    def locate(self, position: np.ndarray) -> int:
+        """Region whose ray is angularly nearest to root->position."""
+        pos = np.asarray(position, dtype=float)[: self.root.shape[0]]
+        v = pos - self.root
+        n = np.linalg.norm(v)
+        if n == 0.0:
+            return 0
+        dirs = self.targets - self.root
+        dirs = dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
+        cos = dirs @ (v / n)
+        return int(np.argmax(cos))
+
+    def region_of(self, rid: int) -> ConeRegion:
+        return self.graph.region(rid)  # type: ignore[return-value]
+
+    def predicate_for(self, rid: int):
+        """Membership predicate for the regional RRT (captures overlap)."""
+        region = self.region_of(rid)
+        return region.contains

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cspace import EuclideanCSpace
+from repro.geometry import AABB, Environment, med_cube
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def box_env():
+    """Small 2-D environment with two obstacles."""
+    bounds = AABB([-5.0, -5.0], [5.0, 5.0])
+    obstacles = [AABB([-1.0, -1.0], [1.0, 1.0]), AABB([2.0, 2.0], [4.0, 4.0])]
+    return Environment(bounds, obstacles, name="two-box")
+
+
+@pytest.fixture
+def box_cspace(box_env):
+    return EuclideanCSpace(box_env)
+
+
+@pytest.fixture
+def medcube_cspace():
+    return EuclideanCSpace(med_cube())

@@ -1,0 +1,20 @@
+"""Tests for the python -m repro.bench CLI."""
+
+from repro.bench.__main__ import _FIGURES, main
+
+
+def test_no_args_lists_figures(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    for name in _FIGURES:
+        assert name in out
+
+
+def test_unknown_figure_errors(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_figure_registry_complete():
+    # One driver per evaluation panel group: 4a,4b,5a,5b,5c,6,7a,7b,8,9,10.
+    assert len(_FIGURES) == 11

@@ -1,0 +1,33 @@
+"""Smoke tests for the benchmark harness (small scales)."""
+
+import numpy as np
+
+from repro.bench import format_table, prm_scaling_table, rrt_scaling_table
+from repro.core import build_prm_workload, build_rrt_workload
+from repro.cspace import EuclideanCSpace
+from repro.geometry import med_cube, free_env
+
+
+def test_prm_scaling_table_rows():
+    cs = EuclideanCSpace(med_cube())
+    wl = build_prm_workload(cs, num_regions=100, samples_per_region=4, seed=1)
+    rows = prm_scaling_table(wl, [4, 8], strategies=("none", "repartition"))
+    assert len(rows) == 4
+    assert rows[0].strategy == "none"
+    assert rows[0].speedup_vs_none == 1.0
+    assert all(r.total_time > 0 for r in rows)
+
+
+def test_rrt_scaling_table_rows():
+    cs = EuclideanCSpace(free_env())
+    wl = build_rrt_workload(cs, np.zeros(3), num_regions=64, nodes_per_region=4, seed=1)
+    rows = rrt_scaling_table(wl, [4], strategies=("none", "diffusive"))
+    assert len(rows) == 2
+    assert rows[1].strategy == "diffusive"
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)

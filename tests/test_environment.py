@@ -1,0 +1,183 @@
+"""Tests for the workspace environment and collision checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, Environment, by_name
+from repro.geometry import environments as envs
+
+
+class TestEnvironmentBasics:
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Environment(AABB([0, 0], [1, 1]), [AABB([0, 0, 0], [1, 1, 1])])
+
+    def test_blocked_fraction(self):
+        env = Environment(AABB([0, 0], [10, 10]), [AABB([0, 0], [5, 5])])
+        assert env.blocked_fraction() == pytest.approx(0.25)
+
+    def test_free_volume_of_region(self):
+        env = Environment(AABB([0, 0], [10, 10]), [AABB([0, 0], [5, 5])])
+        assert env.free_volume(AABB([0, 0], [5, 5])) == 0.0
+        assert env.free_volume(AABB([5, 5], [10, 10])) == 25.0
+        assert env.free_volume(AABB([0, 0], [10, 10])) == 75.0
+
+    def test_obstacle_volume_clips_to_region(self):
+        env = Environment(AABB([0, 0], [10, 10]), [AABB([-5, -5], [5, 5])])
+        assert env.obstacle_volume() == pytest.approx(25.0)
+
+    def test_pairwise_overlap_correction(self):
+        env = Environment(
+            AABB([0, 0], [10, 10]),
+            [AABB([0, 0], [4, 4]), AABB([2, 2], [6, 6])],
+        )
+        # 16 + 16 - 4 overlap = 28.
+        assert env.obstacle_volume() == pytest.approx(28.0)
+
+    def test_add_obstacle_updates_arrays(self, box_env):
+        n = box_env.num_obstacles
+        box_env.add_obstacle(AABB([-4.0, 3.0], [-3.0, 4.0]))
+        assert box_env.num_obstacles == n + 1
+        assert bool(box_env.points_in_collision(np.array([-3.5, 3.5])))
+
+
+class TestPointCollision:
+    def test_inside_obstacle(self, box_env):
+        assert bool(box_env.points_in_collision(np.array([0.0, 0.0])))
+
+    def test_free_point(self, box_env):
+        assert box_env.point_free(np.array([-3.0, -3.0]))
+
+    def test_out_of_bounds_is_collision(self, box_env):
+        assert bool(box_env.points_in_collision(np.array([10.0, 0.0])))
+
+    def test_batch_matches_scalar(self, box_env, rng):
+        pts = rng.uniform(-6, 6, size=(256, 2))
+        batch = box_env.points_in_collision(pts)
+        scalar = np.array([bool(box_env.points_in_collision(p)) for p in pts])
+        assert np.array_equal(batch, scalar)
+
+    def test_counters_accumulate(self, box_env):
+        box_env.counters.reset()
+        box_env.points_in_collision(np.zeros((10, 2)))
+        assert box_env.counters.point_checks == 10 * box_env.num_obstacles
+
+
+class TestSegmentCollision:
+    def test_segment_through_obstacle(self, box_env):
+        assert box_env.segment_in_collision(np.array([-3.0, 0.0]), np.array([3.0, 0.0]))
+
+    def test_segment_in_free_space(self, box_env):
+        assert not box_env.segment_in_collision(np.array([-4.0, -4.0]), np.array([4.0, -4.0]))
+
+    def test_segment_leaving_bounds(self, box_env):
+        assert box_env.segment_in_collision(np.array([-4.0, -4.0]), np.array([-7.0, -4.0]))
+
+    def test_batch_matches_scalar(self, box_env, rng):
+        p = rng.uniform(-5, 5, size=(128, 2))
+        q = rng.uniform(-5, 5, size=(128, 2))
+        batch = box_env.segments_in_collision(p, q)
+        scalar = np.array([box_env.segment_in_collision(a, b) for a, b in zip(p, q)])
+        assert np.array_equal(batch, scalar)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_segment_with_colliding_endpoint_collides(self, seed):
+        env = Environment(
+            AABB([-5.0, -5.0], [5.0, 5.0]),
+            [AABB([-1.0, -1.0], [1.0, 1.0]), AABB([2.0, 2.0], [4.0, 4.0])],
+        )
+        rng = np.random.default_rng(seed)
+        p = np.array([0.0, 0.0])  # inside the first obstacle
+        q = rng.uniform(-5, 5, 2)
+        assert env.segment_in_collision(p, q)
+
+
+class TestRays:
+    def test_ray_hits_obstacle(self, box_env):
+        d = box_env.ray_free_distance(np.array([-3.0, 0.0]), np.array([1.0, 0.0]), 100.0)
+        assert d == pytest.approx(2.0)
+
+    def test_ray_exits_workspace(self, box_env):
+        d = box_env.ray_free_distance(np.array([-3.0, -3.0]), np.array([-1.0, 0.0]), 100.0)
+        assert d == pytest.approx(2.0)
+
+    def test_ray_capped_by_max_dist(self, box_env):
+        d = box_env.ray_free_distance(np.array([-3.0, -3.0]), np.array([1.0, 0.0]), 1.5)
+        assert d == pytest.approx(1.5)
+
+    def test_zero_direction_raises(self, box_env):
+        with pytest.raises(ValueError):
+            box_env.ray_free_distance(np.zeros(2), np.zeros(2), 1.0)
+
+
+class TestBoxObstacleRelation:
+    def test_free(self, box_env):
+        assert box_env.box_obstacle_relation(AABB([-4, -4], [-3, -3])) == "free"
+
+    def test_blocked(self, box_env):
+        assert box_env.box_obstacle_relation(AABB([-0.5, -0.5], [0.5, 0.5])) == "blocked"
+
+    def test_boundary(self, box_env):
+        assert box_env.box_obstacle_relation(AABB([0.5, 0.5], [1.5, 1.5])) == "boundary"
+
+
+class TestSampling:
+    def test_sample_free_avoids_obstacles(self, box_env, rng):
+        pts = box_env.sample_free(rng, 100)
+        assert pts.shape[0] == 100
+        assert not box_env.points_in_collision(pts).any()
+
+    def test_sample_free_in_blocked_region_returns_empty(self, box_env, rng):
+        blocked = AABB([-0.9, -0.9], [0.9, 0.9])
+        pts = box_env.sample_free(rng, 10, within=blocked, max_tries=4)
+        assert pts.shape[0] == 0
+
+
+class TestBenchmarkEnvironments:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("med-cube", 0.24), ("small-cube", 0.06), ("free", 0.0)],
+    )
+    def test_cube_blocked_fractions(self, name, expected):
+        env = by_name(name)
+        assert env.blocked_fraction() == pytest.approx(expected, abs=0.01)
+
+    @pytest.mark.parametrize("name,target", [("mixed", 0.60), ("mixed-30", 0.30)])
+    def test_cluttered_blocked_fractions(self, name, target):
+        env = by_name(name)
+        assert abs(env.blocked_fraction() - target) < 0.08
+
+    def test_cluttered_obstacles_disjoint(self):
+        env = envs.mixed_env()
+        obs = env.obstacles
+        for i in range(len(obs)):
+            for j in range(i + 1, len(obs)):
+                assert obs[i].intersection_volume(obs[j]) == 0.0
+
+    def test_model_2d_obstacle_centred(self):
+        env = envs.model_2d(0.25)
+        ob = env.obstacles[0]
+        assert np.allclose(ob.center, env.bounds.center)
+        assert env.blocked_fraction() == pytest.approx(0.25)
+
+    def test_walls_leave_a_passage(self):
+        env = envs.walls_env(num_walls=3)
+        # Gaps exist: some x-sweep at the gap heights passes every wall.
+        assert env.free_volume() > 0.5 * env.bounds.volume()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            by_name("no-such-env")
+
+    def test_walls45_differs_from_walls(self):
+        a = envs.walls_env(num_walls=3)
+        b = envs.by_name("walls-45", num_walls=3)
+        assert a.num_obstacles == b.num_obstacles
+        same = all(
+            np.allclose(x.lo, y.lo) and np.allclose(x.hi, y.hi)
+            for x, y in zip(a.obstacles, b.obstacles)
+        )
+        assert not same

@@ -1,0 +1,128 @@
+"""Tests for the nearest-neighbour backends, cross-validated."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn import BruteForceNN, GridNN, KDTreeNN
+
+
+def _backends(dim):
+    return [BruteForceNN(dim), KDTreeNN(dim), GridNN(dim, cell_size=0.5)]
+
+
+class TestBasics:
+    @pytest.mark.parametrize("cls", [BruteForceNN, KDTreeNN])
+    def test_invalid_dim(self, cls):
+        with pytest.raises(ValueError):
+            cls(0)
+
+    def test_grid_invalid_cell(self):
+        with pytest.raises(ValueError):
+            GridNN(2, cell_size=0.0)
+
+    def test_len_tracks_insertions(self, rng):
+        for nn in _backends(3):
+            assert len(nn) == 0
+            nn.add(0, rng.normal(size=3))
+            nn.add_batch(np.array([1, 2]), rng.normal(size=(2, 3)))
+            assert len(nn) == 3
+
+    def test_empty_queries(self):
+        for nn in _backends(2):
+            assert nn.knn(np.zeros(2), 3) == []
+            assert nn.radius(np.zeros(2), 1.0) == []
+
+    def test_mismatched_batch_raises(self, rng):
+        for nn in _backends(2):
+            with pytest.raises(ValueError):
+                nn.add_batch(np.array([0]), rng.normal(size=(2, 2)))
+
+
+class TestKnnCorrectness:
+    def test_single_point(self):
+        for nn in _backends(2):
+            nn.add(7, np.array([1.0, 1.0]))
+            out = nn.knn(np.zeros(2), 1)
+            assert out == [(7, pytest.approx(np.sqrt(2.0)))]
+
+    def test_exclude(self):
+        for nn in _backends(2):
+            nn.add(1, np.array([0.0, 0.0]))
+            nn.add(2, np.array([1.0, 0.0]))
+            out = nn.knn(np.zeros(2), 1, exclude=1)
+            assert out[0][0] == 2
+
+    def test_k_larger_than_population(self, rng):
+        for nn in _backends(2):
+            nn.add_batch(np.arange(3), rng.normal(size=(3, 2)))
+            assert len(nn.knn(np.zeros(2), 10)) == 3
+
+    def test_sorted_by_distance(self, rng):
+        pts = rng.normal(size=(50, 3))
+        for nn in _backends(3):
+            nn.add_batch(np.arange(50), pts)
+            out = nn.knn(np.zeros(3), 10)
+            dists = [d for _i, d in out]
+            assert dists == sorted(dists)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(1, 12))
+    def test_backends_agree_with_brute_force(self, seed, k):
+        """Property: kd-tree and grid return exactly the brute-force ids."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-3, 3, size=(60, 2))
+        query = rng.uniform(-3, 3, 2)
+        brute = BruteForceNN(2)
+        kd = KDTreeNN(2)
+        grid = GridNN(2, cell_size=0.75)
+        for nn in (brute, kd, grid):
+            nn.add_batch(np.arange(60), pts)
+        expected = {i for i, _d in brute.knn(query, k)}
+        assert {i for i, _d in kd.knn(query, k)} == expected
+        assert {i for i, _d in grid.knn(query, k)} == expected
+
+
+class TestRadiusCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), r=st.floats(0.1, 3.0))
+    def test_backends_agree_on_radius(self, seed, r):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-3, 3, size=(40, 3))
+        query = rng.uniform(-3, 3, 3)
+        brute = BruteForceNN(3)
+        kd = KDTreeNN(3)
+        grid = GridNN(3, cell_size=1.0)
+        for nn in (brute, kd, grid):
+            nn.add_batch(np.arange(40), pts)
+        expected = {i for i, _d in brute.radius(query, r)}
+        assert {i for i, _d in kd.radius(query, r)} == expected
+        assert {i for i, _d in grid.radius(query, r)} == expected
+
+    def test_radius_inclusive(self):
+        for nn in _backends(2):
+            nn.add(0, np.array([1.0, 0.0]))
+            assert nn.radius(np.zeros(2), 1.0) == [(0, pytest.approx(1.0))]
+
+
+class TestStats:
+    def test_brute_counts_distance_evals(self, rng):
+        nn = BruteForceNN(2)
+        nn.add_batch(np.arange(10), rng.normal(size=(10, 2)))
+        nn.knn(np.zeros(2), 3)
+        assert nn.stats.queries == 1
+        assert nn.stats.distance_evals == 10
+
+    def test_kdtree_prunes(self, rng):
+        nn = KDTreeNN(2)
+        pts = rng.uniform(-10, 10, size=(500, 2))
+        nn.add_batch(np.arange(500), pts)
+        nn.knn(np.array([0.0, 0.0]), 1)
+        # Pruning must beat exhaustive scan on a spread-out set.
+        assert nn.stats.distance_evals < 500
+
+    def test_kdtree_depth_reasonable(self, rng):
+        nn = KDTreeNN(3)
+        nn.add_batch(np.arange(1000), rng.normal(size=(1000, 3)))
+        assert nn.depth() < 60

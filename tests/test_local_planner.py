@@ -1,0 +1,100 @@
+"""Tests for local planners (single and batched)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cspace import BinaryLocalPlanner, StraightLinePlanner
+
+
+class TestStraightLinePlanner:
+    def test_valid_free_segment(self, box_cspace):
+        lp = StraightLinePlanner(resolution=0.1)
+        res = lp(box_cspace, np.array([-4.0, -4.0]), np.array([4.0, -4.0]))
+        assert res.valid
+        assert res.length == pytest.approx(8.0)
+        assert res.checks > 0
+
+    def test_blocked_segment(self, box_cspace):
+        lp = StraightLinePlanner(resolution=0.1)
+        res = lp(box_cspace, np.array([-3.0, 0.0]), np.array([3.0, 0.0]))
+        assert not res.valid
+
+    def test_zero_length_segment(self, box_cspace):
+        lp = StraightLinePlanner(resolution=0.1)
+        a = np.array([-4.0, -4.0])
+        res = lp(box_cspace, a, a)
+        assert res.valid and res.checks == 0 and res.length == 0.0
+
+    def test_short_segment_no_checks(self, box_cspace):
+        lp = StraightLinePlanner(resolution=1.0)
+        res = lp(box_cspace, np.array([-4.0, -4.0]), np.array([-3.5, -4.0]))
+        assert res.valid and res.checks == 0
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            StraightLinePlanner(resolution=0.0)
+
+    def test_batch_matches_single(self, box_cspace, rng):
+        lp = StraightLinePlanner(resolution=0.2)
+        starts = rng.uniform(-4.5, 4.5, (64, 2))
+        ends = rng.uniform(-4.5, 4.5, (64, 2))
+        ok, checks, lengths = lp.batch_pairs(box_cspace, starts, ends)
+        singles = [lp(box_cspace, a, b) for a, b in zip(starts, ends)]
+        assert np.array_equal(ok, [s.valid for s in singles])
+        assert checks == sum(s.checks for s in singles)
+        assert np.allclose(lengths, [s.length for s in singles])
+
+    def test_batch_empty_total(self, box_cspace):
+        lp = StraightLinePlanner(resolution=10.0)
+        starts = np.array([[-4.0, -4.0]])
+        ends = np.array([[-3.9, -4.0]])
+        ok, checks, lengths = lp.batch_pairs(box_cspace, starts, ends)
+        assert ok.all() and checks == 0
+
+
+class TestBinaryLocalPlanner:
+    def test_agrees_with_straight_line_on_validity(self, box_cspace, rng):
+        blp = BinaryLocalPlanner(resolution=0.05)
+        slp = StraightLinePlanner(resolution=0.05)
+        for _ in range(64):
+            a = rng.uniform(-4.5, 4.5, 2)
+            b = rng.uniform(-4.5, 4.5, 2)
+            vb = blp(box_cspace, a, b).valid
+            vs = slp(box_cspace, a, b).valid
+            # Binary subdivision checks a slightly different point set; on
+            # clearly-blocked segments they must agree.
+            if box_cspace.env.segments_in_collision(a[None], b[None])[0]:
+                assert not vb or not vs
+
+    def test_fails_fast_on_blocked(self, box_cspace):
+        blp = BinaryLocalPlanner(resolution=0.01)
+        slp = StraightLinePlanner(resolution=0.01)
+        a, b = np.array([-3.0, 0.0]), np.array([3.0, 0.0])
+        rb = blp(box_cspace, a, b)
+        rs = slp(box_cspace, a, b)
+        assert not rb.valid
+        assert rb.checks < rs.checks  # midpoint-first fails immediately
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_exact_segment_check_implies_lp_verdict(seed):
+    """Property: if the exact swept test says free, the sampled local
+    planner must also say free (its checks are a subset of the segment)."""
+    from repro.cspace import EuclideanCSpace
+    from repro.geometry import AABB, Environment
+
+    env = Environment(
+        AABB([-5.0, -5.0], [5.0, 5.0]),
+        [AABB([-1.0, -1.0], [1.0, 1.0]), AABB([2.0, 2.0], [4.0, 4.0])],
+    )
+    cspace = EuclideanCSpace(env)
+    rng = np.random.default_rng(seed)
+    lp = StraightLinePlanner(resolution=0.1)
+    a = rng.uniform(-4.5, 4.5, 2)
+    b = rng.uniform(-4.5, 4.5, 2)
+    exact_free = not env.segments_in_collision(a[None], b[None])[0]
+    if exact_free:
+        assert lp(cspace, a, b).valid

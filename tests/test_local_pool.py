@@ -1,0 +1,55 @@
+"""Tests for the true-parallel local execution backend."""
+
+import time
+
+import pytest
+
+from repro.runtime import run_tasks_parallel
+
+
+def _square(task_id):
+    return task_id * task_id
+
+
+class TestRunTasksParallel:
+    def test_all_results_present(self):
+        res = run_tasks_parallel(_square, list(range(20)), workers=4)
+        assert res.results == {i: i * i for i in range(20)}
+        assert set(res.per_task_time) == set(range(20))
+
+    def test_single_worker(self):
+        res = run_tasks_parallel(_square, [1, 2, 3], workers=1)
+        assert res.results == {1: 1, 2: 4, 3: 9}
+
+    def test_empty_task_list(self):
+        res = run_tasks_parallel(_square, [], workers=2)
+        assert res.results == {}
+
+    def test_window_bounds_inflight(self):
+        res = run_tasks_parallel(_square, list(range(50)), workers=2, window=3)
+        assert len(res.results) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_tasks_parallel(_square, [1], workers=0)
+        with pytest.raises(ValueError):
+            run_tasks_parallel(_square, [1], backend="gpu")
+
+    def test_threads_give_wall_clock_overlap(self):
+        def sleepy(task_id):
+            time.sleep(0.05)
+            return task_id
+
+        res = run_tasks_parallel(sleepy, list(range(8)), workers=8)
+        # 8 x 50ms serial would be 400ms; parallel should be well under.
+        assert res.wall_time < 0.3
+
+    def test_slowest_task_identified(self):
+        def variable(task_id):
+            time.sleep(0.01 * (task_id == 3))
+            return task_id
+
+        res = run_tasks_parallel(variable, list(range(5)), workers=2)
+        task, duration = res.slowest_task()
+        assert task in range(5)
+        assert duration == max(res.per_task_time.values())

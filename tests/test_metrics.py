@@ -1,0 +1,62 @@
+"""Tests for the load-imbalance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    coefficient_of_variation,
+    ideal_loads,
+    max_load_reduction,
+    percent_improvement,
+    speedup,
+)
+
+
+class TestCoV:
+    def test_balanced_is_zero(self):
+        assert coefficient_of_variation(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_known_value(self):
+        loads = np.array([0.0, 10.0])
+        assert coefficient_of_variation(loads) == pytest.approx(1.0)
+
+    def test_all_zero_loads(self):
+        assert coefficient_of_variation(np.zeros(4)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation(np.array([]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(scale=st.floats(0.1, 100), seed=st.integers(0, 1000))
+    def test_scale_invariant(self, scale, seed):
+        rng = np.random.default_rng(seed)
+        loads = rng.uniform(1, 10, 16)
+        assert coefficient_of_variation(loads * scale) == pytest.approx(
+            coefficient_of_variation(loads)
+        )
+
+
+class TestImprovements:
+    def test_percent_improvement(self):
+        assert percent_improvement(100.0, 50.0) == pytest.approx(50.0)
+        assert percent_improvement(100.0, 120.0) == pytest.approx(-20.0)
+        assert percent_improvement(0.0, 10.0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_max_load_reduction(self):
+        before = np.array([10.0, 2.0, 2.0])
+        after = np.array([5.0, 5.0, 4.0])
+        assert max_load_reduction(before, after) == pytest.approx(50.0)
+
+    def test_ideal_loads(self):
+        out = ideal_loads(12.0, 4)
+        assert np.allclose(out, 3.0)
+        with pytest.raises(ValueError):
+            ideal_loads(1.0, 0)

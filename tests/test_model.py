@@ -1,0 +1,50 @@
+"""Tests for the theoretical model environment analysis (Sec. IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelEnvironmentAnalysis
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return ModelEnvironmentAnalysis(num_regions=1024, total_samples=8000)
+
+
+class TestModelAnalysis:
+    def test_free_volume_conservation(self, analysis):
+        total = sum(analysis.free_volumes.values())
+        assert total == pytest.approx(analysis.env.free_volume(), rel=1e-6)
+
+    def test_sample_counts_total(self, analysis):
+        assert sum(analysis.sample_counts.values()) == analysis.total_samples
+
+    def test_samples_track_free_volume(self, analysis):
+        """Sample density is proportional to free volume per region."""
+        fv = np.array([analysis.free_volumes[r] for r in sorted(analysis.free_volumes)])
+        sc = np.array([analysis.sample_counts[r] for r in sorted(analysis.sample_counts)])
+        # Correlation should be strong.
+        corr = np.corrcoef(fv, sc)[0, 1]
+        assert corr > 0.8
+
+    def test_greedy_never_worse_than_naive(self, analysis):
+        for P in (2, 8, 32, 128):
+            point = analysis.analyze(P)
+            assert point.model_best <= point.model_imbalance + 1e-9
+            assert point.model_improvement >= -1e-9
+
+    def test_experimental_tracks_model(self, analysis):
+        point = analysis.analyze(16)
+        assert abs(point.experimental_imbalance - point.model_imbalance) < 0.15
+
+    def test_invalid_pe_count(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.analyze(0)
+
+    def test_sweep_shapes(self, analysis):
+        points = analysis.sweep([2, 4, 8])
+        assert [p.num_pes for p in points] == [2, 4, 8]
+
+    def test_obstacle_fraction_validation(self):
+        with pytest.raises(ValueError):
+            ModelEnvironmentAnalysis(obstacle_fraction=1.5)

@@ -1,0 +1,143 @@
+"""Integration tests for the load-balanced parallel PRM driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_prm_workload, simulate_prm
+from repro.core.metrics import coefficient_of_variation
+from repro.cspace import EuclideanCSpace
+from repro.geometry import free_env, med_cube
+from repro.planners import RoadmapQuery
+
+
+@pytest.fixture(scope="module")
+def medcube_workload():
+    cs = EuclideanCSpace(med_cube())
+    return build_prm_workload(cs, num_regions=500, samples_per_region=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def free_workload():
+    cs = EuclideanCSpace(free_env())
+    return build_prm_workload(cs, num_regions=500, samples_per_region=6, seed=3)
+
+
+class TestWorkloadConstruction:
+    def test_region_work_complete(self, medcube_workload):
+        wl = medcube_workload
+        assert set(wl.region_work) == set(wl.subdivision.graph.region_ids())
+        assert all(w.gen_cost >= 0 and w.connect_cost >= 0 for w in wl.region_work.values())
+
+    def test_roadmap_vertices_match_sample_counts(self, medcube_workload):
+        wl = medcube_workload
+        total = sum(w.num_samples for w in wl.region_work.values())
+        assert wl.roadmap.num_vertices == total
+        assert wl.sample_positions.shape[0] == total
+
+    def test_vertex_ids_encode_regions(self, medcube_workload):
+        wl = medcube_workload
+        from repro.core.parallel_prm import ID_SHIFT
+        for vid in wl.roadmap.vertices():
+            rid = vid >> ID_SHIFT
+            assert rid in wl.region_work
+
+    def test_boundary_regions_heavier(self, medcube_workload):
+        """Narrow-passage refinement concentrates work near the obstacle."""
+        wl = medcube_workload
+        env = wl.cspace.env
+        boundary_costs, free_costs = [], []
+        for rid, work in wl.region_work.items():
+            rel = env.box_obstacle_relation(wl.subdivision.region_of(rid).bounds)
+            if rel == "boundary":
+                boundary_costs.append(work.connect_cost)
+            elif rel == "free":
+                free_costs.append(work.connect_cost)
+        assert np.mean(boundary_costs) > 2.0 * np.mean(free_costs)
+
+    def test_adjacency_work_covers_graph(self, medcube_workload):
+        wl = medcube_workload
+        pairs = {(a.a, a.b) for a in wl.adjacency_work}
+        assert pairs == {(a, b) for a, b in wl.subdivision.graph.edges()}
+
+    def test_workload_deterministic(self):
+        cs = EuclideanCSpace(med_cube())
+        a = build_prm_workload(cs, num_regions=100, samples_per_region=4, seed=11)
+        cs2 = EuclideanCSpace(med_cube())
+        b = build_prm_workload(cs2, num_regions=100, samples_per_region=4, seed=11)
+        assert a.roadmap.num_vertices == b.roadmap.num_vertices
+        for rid in a.region_work:
+            assert a.region_work[rid].connect_cost == b.region_work[rid].connect_cost
+
+    def test_roadmap_answers_queries(self, free_workload):
+        wl = free_workload
+        q = RoadmapQuery(wl.cspace)
+        out = q.solve(wl.roadmap, np.array([-9.0, -9.0, -9.0]), np.array([9.0, 9.0, 9.0]))
+        assert out is not None
+
+    def test_zero_boost_flattens_boundary_effect(self):
+        cs = EuclideanCSpace(med_cube())
+        wl = build_prm_workload(
+            cs, num_regions=200, samples_per_region=4, seed=5, narrow_passage_boost=0.0
+        )
+        counts = [w.num_samples for w in wl.region_work.values()]
+        assert max(counts) <= 4
+
+
+class TestSimulation:
+    def test_all_strategies_run(self, medcube_workload):
+        for strat in ("none", "repartition", "hybrid", "rand-8", "diffusive"):
+            r = simulate_prm(medcube_workload, 16, strat)
+            assert r.total_time > 0
+            assert r.phases.node_connection > 0
+
+    def test_unknown_strategy_rejected(self, medcube_workload):
+        with pytest.raises(KeyError):
+            simulate_prm(medcube_workload, 8, "magic")
+
+    def test_node_conservation_across_strategies(self, medcube_workload):
+        total = medcube_workload.roadmap.num_vertices
+        for strat in ("none", "repartition", "hybrid"):
+            r = simulate_prm(medcube_workload, 16, strat)
+            assert r.nodes_per_pe.sum() == pytest.approx(total)
+            assert r.nodes_per_pe_before.sum() == pytest.approx(total)
+
+    def test_repartition_lowers_cov(self, medcube_workload):
+        r = simulate_prm(medcube_workload, 16, "repartition")
+        assert coefficient_of_variation(r.nodes_per_pe) < coefficient_of_variation(
+            r.nodes_per_pe_before
+        )
+
+    def test_load_balancing_beats_baseline(self, medcube_workload):
+        base = simulate_prm(medcube_workload, 16, "none").total_time
+        for strat in ("repartition", "hybrid"):
+            assert simulate_prm(medcube_workload, 16, strat).total_time < base
+
+    def test_free_env_no_imbalance_no_churn(self, free_workload):
+        base = simulate_prm(free_workload, 16, "none")
+        repart = simulate_prm(free_workload, 16, "repartition")
+        assert repart.total_time < 1.2 * base.total_time
+
+    def test_repartition_increases_remote_accesses(self, medcube_workload):
+        none = simulate_prm(medcube_workload, 32, "none")
+        repart = simulate_prm(medcube_workload, 32, "repartition")
+        assert repart.roadmap_graph_remote >= none.roadmap_graph_remote
+
+    def test_stealing_transfers_ownership(self, medcube_workload):
+        r = simulate_prm(medcube_workload, 16, "hybrid")
+        stolen = r.connection_sim.stolen_per_pe().sum()
+        assert stolen > 0
+
+    def test_simulation_deterministic(self, medcube_workload):
+        a = simulate_prm(medcube_workload, 16, "rand-8")
+        b = simulate_prm(medcube_workload, 16, "rand-8")
+        assert a.total_time == b.total_time
+
+    def test_strong_scaling_baseline(self, medcube_workload):
+        t8 = simulate_prm(medcube_workload, 8, "none").total_time
+        t32 = simulate_prm(medcube_workload, 32, "none").total_time
+        assert t32 < t8
+
+    def test_mismatched_topology_rejected(self, medcube_workload):
+        from repro.runtime import ClusterTopology
+        with pytest.raises(ValueError):
+            simulate_prm(medcube_workload, 8, "none", topology=ClusterTopology(16))

@@ -1,0 +1,177 @@
+"""Tests for the region-graph partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB
+from repro.partition import (
+    edge_cut_of,
+    evaluate_partition,
+    loads_of,
+    partition_1d_columns,
+    partition_block,
+    partition_greedy_lpt,
+    partition_rcb,
+    partition_weighted_blocks,
+    refine_partition,
+)
+from repro.subdivision import UniformSubdivision
+
+
+def _grid(n=64, weights=None, seed=0):
+    sub = UniformSubdivision(AABB([0, 0], [8, 8]), n)
+    g = sub.graph
+    rng = np.random.default_rng(seed)
+    for rid in g.region_ids():
+        w = float(rng.uniform(0.1, 10)) if weights is None else weights(rid)
+        g.set_weight(rid, w)
+    return sub, g
+
+
+def _assert_complete(assignment, g, P):
+    assert set(assignment) == set(g.region_ids())
+    assert all(0 <= pe < P for pe in assignment.values())
+
+
+class TestNaivePartitions:
+    def test_columns_balanced_counts(self):
+        sub, g = _grid(64)
+        assign = partition_1d_columns(sub, 4)
+        _assert_complete(assign, g, 4)
+        counts = np.bincount(list(assign.values()), minlength=4)
+        assert counts.max() - counts.min() == 0
+
+    def test_columns_are_contiguous(self):
+        sub, _g = _grid(64)
+        assign = partition_1d_columns(sub, 4)
+        for region in sub.graph.regions():
+            col = region.grid_index[0]
+            assert assign[region.id] == col // 2
+
+    def test_block_balanced(self):
+        _sub, g = _grid(64)
+        assign = partition_block(g, 7)
+        _assert_complete(assign, g, 7)
+        counts = np.bincount(list(assign.values()), minlength=7)
+        assert counts.max() - counts.min() <= 1
+
+    def test_block_more_pes_than_regions(self):
+        _sub, g = _grid(16)
+        assign = partition_block(g, 64)
+        _assert_complete(assign, g, 64)
+        counts = np.bincount(list(assign.values()), minlength=64)
+        assert counts.max() == 1
+
+    def test_invalid_pe_count(self):
+        sub, g = _grid(16)
+        with pytest.raises(ValueError):
+            partition_block(g, 0)
+        with pytest.raises(ValueError):
+            partition_1d_columns(sub, 0)
+
+
+class TestGreedyLPT:
+    def test_balances_weights(self):
+        _sub, g = _grid(64)
+        assign = partition_greedy_lpt(g, 8)
+        _assert_complete(assign, g, 8)
+        q = evaluate_partition(g, assign, 8)
+        assert q.imbalance < 1.2
+
+    def test_beats_naive_on_skewed_weights(self):
+        _sub, g = _grid(64, weights=lambda rid: 100.0 if rid < 8 else 1.0)
+        naive = partition_block(g, 8)
+        lpt = partition_greedy_lpt(g, 8)
+        assert evaluate_partition(g, lpt, 8).max_load < evaluate_partition(g, naive, 8).max_load
+
+    def test_lpt_deterministic(self):
+        _sub, g = _grid(64)
+        assert partition_greedy_lpt(g, 8) == partition_greedy_lpt(g, 8)
+
+    def test_weighted_blocks_contiguous(self):
+        _sub, g = _grid(64)
+        assign = partition_weighted_blocks(g, 4)
+        _assert_complete(assign, g, 4)
+        # Contiguity: PE of region ids is non-decreasing.
+        pes = [assign[r] for r in g.region_ids()]
+        assert all(a <= b for a, b in zip(pes, pes[1:]))
+
+    def test_weighted_blocks_zero_weights(self):
+        _sub, g = _grid(16, weights=lambda rid: 0.0)
+        assign = partition_weighted_blocks(g, 4)
+        counts = np.bincount(list(assign.values()), minlength=4)
+        assert counts.max() - counts.min() == 0
+
+
+class TestRCB:
+    def test_complete_and_balanced(self):
+        _sub, g = _grid(64)
+        assign = partition_rcb(g, 8)
+        _assert_complete(assign, g, 8)
+        q = evaluate_partition(g, assign, 8)
+        assert q.imbalance < 2.0
+
+    def test_non_power_of_two(self):
+        _sub, g = _grid(64)
+        assign = partition_rcb(g, 6)
+        _assert_complete(assign, g, 6)
+        assert len(set(assign.values())) == 6
+
+    def test_lower_edge_cut_than_lpt(self):
+        _sub, g = _grid(256)
+        rcb = partition_rcb(g, 16)
+        lpt = partition_greedy_lpt(g, 16)
+        assert edge_cut_of(g, rcb) < edge_cut_of(g, lpt)
+
+
+class TestRefinement:
+    def test_never_increases_edge_cut(self):
+        _sub, g = _grid(144)
+        lpt = partition_greedy_lpt(g, 12)
+        refined = refine_partition(g, lpt, 12)
+        assert edge_cut_of(g, refined) <= edge_cut_of(g, lpt)
+
+    def test_respects_balance_tolerance(self):
+        _sub, g = _grid(144)
+        lpt = partition_greedy_lpt(g, 12)
+        refined = refine_partition(g, lpt, 12, balance_tolerance=0.05)
+        loads = loads_of(g, refined, 12)
+        assert loads.max() <= 1.12 * loads.mean()
+
+    def test_input_not_mutated(self):
+        _sub, g = _grid(64)
+        lpt = partition_greedy_lpt(g, 8)
+        before = dict(lpt)
+        refine_partition(g, lpt, 8)
+        assert lpt == before
+
+
+class TestQualityMetrics:
+    def test_evaluate_rejects_bad_assignment(self):
+        _sub, g = _grid(16)
+        with pytest.raises(ValueError):
+            evaluate_partition(g, {}, 4)
+        assign = partition_block(g, 4)
+        assign[0] = 99
+        with pytest.raises(ValueError):
+            evaluate_partition(g, assign, 4)
+
+    def test_cov_zero_when_balanced(self):
+        _sub, g = _grid(16, weights=lambda rid: 1.0)
+        assign = partition_block(g, 4)
+        q = evaluate_partition(g, assign, 4)
+        assert q.coefficient_of_variation == pytest.approx(0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), P=st.integers(1, 16))
+def test_lpt_within_4_3_of_mean_bound(seed, P):
+    """Property: LPT makespan <= 4/3 * OPT; OPT >= max(mean, max weight)."""
+    _sub, g = _grid(64, seed=seed)
+    assign = partition_greedy_lpt(g, P)
+    loads = loads_of(g, assign, P)
+    weights = [g.weights[r] for r in g.region_ids()]
+    opt_lb = max(sum(weights) / P, max(weights))
+    assert loads.max() <= (4.0 / 3.0) * opt_lb + 1e-9

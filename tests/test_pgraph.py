@@ -1,0 +1,75 @@
+"""Tests for the distributed-graph view and remote-access accounting."""
+
+import pytest
+
+from repro.runtime import ClusterTopology, PGraphView
+
+
+@pytest.fixture
+def view():
+    topo = ClusterTopology(4, cores_per_node=2, latency_local=1.0, latency_remote=10.0)
+    v = PGraphView("roadmap graph", topo)
+    v.set_owners({0: 0, 1: 1, 2: 2, 3: 3})
+    return v
+
+
+class TestOwnership:
+    def test_owner_and_elements(self, view):
+        assert view.owner(2) == 2
+        assert view.elements_of(1) == [1]
+        assert view.num_elements == 4
+
+    def test_invalid_owner_rejected(self, view):
+        with pytest.raises(ValueError):
+            view.set_owner(9, 7)
+
+    def test_migrate(self, view):
+        view.migrate(0, 3)
+        assert view.owner(0) == 3
+        with pytest.raises(KeyError):
+            view.migrate(77, 0)
+
+
+class TestAccessAccounting:
+    def test_local_access_free(self, view):
+        charged = view.access(0, 0)
+        assert charged == 0.0
+        assert view.stats.local == 1
+        assert view.stats.remote == 0
+
+    def test_remote_access_charged(self, view):
+        charged = view.access(0, 1)  # same node (cores_per_node=2)
+        assert charged == pytest.approx(1.0)
+        charged = view.access(0, 2)  # cross node
+        assert charged == pytest.approx(10.0)
+        assert view.stats.remote == 2
+        assert view.stats.remote_by_pe[0] == 2
+
+    def test_counted_per_element(self, view):
+        view.access(0, 2, count=5)
+        assert view.stats.remote == 5
+        assert view.stats.latency_charged == pytest.approx(50.0)
+
+    def test_bulk_access_single_latency(self, view):
+        charged = view.access_bulk(0, 2, count=100)
+        # One message: base remote latency + bandwidth * payload.
+        assert charged == pytest.approx(10.0 + 100 * view.topology.bandwidth_cost)
+        assert view.stats.remote == 100
+
+    def test_bulk_zero_count_free(self, view):
+        assert view.access_bulk(0, 2, count=0) == 0.0
+        assert view.stats.total == 0
+
+    def test_negative_count_rejected(self, view):
+        with pytest.raises(ValueError):
+            view.access(0, 1, count=-1)
+
+    def test_remote_fraction(self, view):
+        view.access(0, 0)
+        view.access(0, 1)
+        assert view.stats.remote_fraction() == pytest.approx(0.5)
+
+    def test_reset(self, view):
+        view.access(0, 1)
+        view.reset_stats()
+        assert view.stats.total == 0

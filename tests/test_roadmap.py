@@ -1,0 +1,191 @@
+"""Tests for the roadmap graph and union-find."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planners import Roadmap, UnionFind
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind()
+        for x in range(5):
+            uf.make_set(x)
+        assert uf.num_sets == 5
+        assert uf.union(0, 1)
+        assert not uf.union(0, 1)
+        assert uf.same_set(0, 1)
+        assert not uf.same_set(0, 2)
+        assert uf.num_sets == 4
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        for x in range(4):
+            uf.make_set(x)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.same_set(0, 3)
+        assert uf.num_sets == 1
+
+    def test_make_set_idempotent(self):
+        uf = UnionFind()
+        uf.make_set(1)
+        uf.make_set(1)
+        assert uf.num_sets == 1
+
+
+class TestRoadmap:
+    def test_add_vertex_auto_ids(self):
+        rm = Roadmap(2)
+        assert rm.add_vertex(np.zeros(2)) == 0
+        assert rm.add_vertex(np.ones(2)) == 1
+
+    def test_explicit_ids(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), vid=100)
+        assert rm.add_vertex(np.ones(2)) == 101
+
+    def test_duplicate_vertex_rejected(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), vid=0)
+        with pytest.raises(KeyError):
+            rm.add_vertex(np.ones(2), vid=0)
+
+    def test_wrong_dim_rejected(self):
+        rm = Roadmap(2)
+        with pytest.raises(ValueError):
+            rm.add_vertex(np.zeros(3))
+
+    def test_edge_weight_defaults_to_euclidean(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), 0)
+        rm.add_vertex(np.array([3.0, 4.0]), 1)
+        rm.add_edge(0, 1)
+        assert rm.neighbors(0)[1] == pytest.approx(5.0)
+
+    def test_self_loop_rejected(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), 0)
+        with pytest.raises(ValueError):
+            rm.add_edge(0, 0)
+
+    def test_edge_to_missing_vertex(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), 0)
+        with pytest.raises(KeyError):
+            rm.add_edge(0, 5)
+
+    def test_duplicate_edge_returns_false(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), 0)
+        rm.add_vertex(np.ones(2), 1)
+        assert rm.add_edge(0, 1)
+        assert not rm.add_edge(1, 0)
+        assert rm.num_edges == 1
+
+    def test_components_tracking(self):
+        rm = Roadmap(2)
+        for i in range(4):
+            rm.add_vertex(np.array([float(i), 0.0]), i)
+        rm.add_edge(0, 1)
+        rm.add_edge(2, 3)
+        assert rm.num_components_fast == 2
+        assert rm.same_component(0, 1)
+        assert not rm.same_component(1, 2)
+        rm.add_edge(1, 2)
+        assert rm.num_components_fast == 1
+
+    def test_connected_components_exact(self):
+        rm = Roadmap(2)
+        for i in range(5):
+            rm.add_vertex(np.array([float(i), 0.0]), i)
+        rm.add_edge(0, 1)
+        rm.add_edge(1, 2)
+        comps = rm.connected_components()
+        assert sorted(map(sorted, comps)) == [[0, 1, 2], [3], [4]]
+
+    def test_remove_edge(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), 0)
+        rm.add_vertex(np.ones(2), 1)
+        rm.add_edge(0, 1)
+        rm.remove_edge(0, 1)
+        assert rm.num_edges == 0
+        with pytest.raises(KeyError):
+            rm.remove_edge(0, 1)
+
+    def test_edges_iteration_unique(self):
+        rm = Roadmap(2)
+        for i in range(3):
+            rm.add_vertex(np.array([float(i), 0.0]), i)
+        rm.add_edge(0, 1)
+        rm.add_edge(1, 2)
+        edges = list(rm.edges())
+        assert len(edges) == 2
+        assert all(u < v for u, v, _w in edges)
+
+    def test_merge_disjoint(self):
+        a = Roadmap(2)
+        a.add_vertex(np.zeros(2), 0)
+        b = Roadmap(2)
+        b.add_vertex(np.ones(2), 100)
+        b.add_vertex(np.array([2.0, 2.0]), 101)
+        b.add_edge(100, 101)
+        a.merge(b)
+        assert a.num_vertices == 3
+        assert a.num_edges == 1
+
+    def test_merge_conflicting_config_rejected(self):
+        a = Roadmap(2)
+        a.add_vertex(np.zeros(2), 0)
+        b = Roadmap(2)
+        b.add_vertex(np.ones(2), 0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_shared_identical_vertex_ok(self):
+        a = Roadmap(2)
+        a.add_vertex(np.zeros(2), 0)
+        b = Roadmap(2)
+        b.add_vertex(np.zeros(2), 0)
+        a.merge(b)
+        assert a.num_vertices == 1
+
+    def test_path_length(self):
+        rm = Roadmap(2)
+        rm.add_vertex(np.zeros(2), 0)
+        rm.add_vertex(np.array([1.0, 0.0]), 1)
+        rm.add_vertex(np.array([1.0, 1.0]), 2)
+        rm.add_edge(0, 1)
+        rm.add_edge(1, 2)
+        assert rm.path_length([0, 1, 2]) == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            rm.path_length([0, 2])
+
+    def test_configs_array_round_trip(self, rng):
+        rm = Roadmap(3)
+        cfgs = rng.normal(size=(10, 3))
+        for i, c in enumerate(cfgs):
+            rm.add_vertex(c, i * 7)
+        ids, arr = rm.configs_array()
+        for i, vid in enumerate(ids):
+            assert np.allclose(arr[i], rm.config(int(vid)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_union_find_matches_bfs_components(seed):
+    """Property: union-find component count equals exact BFS count."""
+    rng = np.random.default_rng(seed)
+    rm = Roadmap(2)
+    n = 30
+    for i in range(n):
+        rm.add_vertex(rng.normal(size=2), i)
+    for _ in range(25):
+        u, v = rng.integers(0, n, 2)
+        if u != v and not rm.has_edge(int(u), int(v)):
+            rm.add_edge(int(u), int(v))
+    assert rm.num_components_fast == len(rm.connected_components())

@@ -1,0 +1,33 @@
+"""Tests for shortcut path smoothing."""
+
+import numpy as np
+
+from repro.planners import path_length, shortcut_smooth
+
+
+def test_smoothing_never_lengthens(box_cspace, rng):
+    # A deliberately wiggly path along the bottom free corridor.
+    xs = np.linspace(-4.5, 4.5, 12)
+    ys = np.where(np.arange(12) % 2 == 0, -4.5, -3.5)
+    path = np.column_stack([xs, ys])
+    before = path_length(box_cspace, path)
+    smoothed = shortcut_smooth(box_cspace, path, rng, iterations=128)
+    after = path_length(box_cspace, smoothed)
+    assert after <= before + 1e-9
+
+
+def test_smoothed_path_remains_valid(box_cspace, rng):
+    xs = np.linspace(-4.5, 4.5, 12)
+    ys = np.where(np.arange(12) % 2 == 0, -4.5, -3.5)
+    path = np.column_stack([xs, ys])
+    smoothed = shortcut_smooth(box_cspace, path, rng, iterations=128)
+    for a, b in zip(smoothed[:-1], smoothed[1:]):
+        assert box_cspace.segment_valid(a, b)
+
+
+def test_endpoints_preserved(box_cspace, rng):
+    xs = np.linspace(-4.5, 4.5, 8)
+    path = np.column_stack([xs, np.full(8, -4.5)])
+    smoothed = shortcut_smooth(box_cspace, path, rng, iterations=64)
+    assert np.allclose(smoothed[0], path[0])
+    assert np.allclose(smoothed[-1], path[-1])

@@ -1,0 +1,88 @@
+"""Tests for radial (conical) subdivision."""
+
+import numpy as np
+import pytest
+
+from repro.subdivision import RadialSubdivision
+
+
+class TestRadialSubdivision:
+    @pytest.fixture
+    def radial(self, rng):
+        return RadialSubdivision(np.zeros(3), radius=5.0, num_regions=64, k=4, rng=rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadialSubdivision(np.zeros(3), radius=0.0, num_regions=4)
+        with pytest.raises(ValueError):
+            RadialSubdivision(np.zeros(3), radius=1.0, num_regions=0)
+        with pytest.raises(ValueError):
+            RadialSubdivision(np.zeros(3), radius=1.0, num_regions=4, k=0)
+
+    def test_targets_on_sphere(self, radial):
+        d = np.linalg.norm(radial.targets - radial.root, axis=1)
+        assert np.allclose(d, 5.0)
+
+    def test_targets_angularly_sorted(self, radial):
+        # Lexicographic ordering of target coordinates.
+        t = radial.targets
+        keys = [tuple(row) for row in t]
+        assert keys == sorted(keys)
+
+    def test_adjacency_degree_at_least_k(self, radial):
+        g = radial.graph
+        for rid in g.region_ids():
+            assert len(g.neighbors(rid)) >= radial.k
+
+    def test_locate_returns_nearest_cone(self, radial, rng):
+        for _ in range(50):
+            p = rng.normal(size=3)
+            p = 3.0 * p / np.linalg.norm(p)
+            rid = radial.locate(p)
+            region = radial.region_of(rid)
+            angle = region.angle_to(p)
+            # No other region has a strictly smaller angle.
+            for other in radial.graph.region_ids():
+                assert angle <= radial.region_of(other).angle_to(p) + 1e-9
+
+    def test_locate_root_is_defined(self, radial):
+        assert 0 <= radial.locate(np.zeros(3)) < radial.num_regions
+
+    def test_region_contains_respects_radius(self, radial):
+        region = radial.region_of(0)
+        direction = region.direction
+        assert region.contains(radial.root + 2.0 * direction)
+        assert not region.contains(radial.root + 10.0 * direction)
+
+    def test_overlap_widens_cones(self, rng):
+        tight = RadialSubdivision(np.zeros(2), 5.0, 16, overlap=0.0, rng=np.random.default_rng(1))
+        wide = RadialSubdivision(np.zeros(2), 5.0, 16, overlap=0.5, rng=np.random.default_rng(1))
+        hits_tight = 0
+        hits_wide = 0
+        for _ in range(200):
+            p = rng.normal(size=2)
+            p = 3.0 * p / np.linalg.norm(p)
+            hits_tight += sum(
+                tight.region_of(r).contains(p) for r in tight.graph.region_ids()
+            )
+            hits_wide += sum(
+                wide.region_of(r).contains(p) for r in wide.graph.region_ids()
+            )
+        assert hits_wide > hits_tight
+
+    def test_single_region(self):
+        radial = RadialSubdivision(np.zeros(2), 1.0, 1, rng=np.random.default_rng(0))
+        assert radial.num_regions == 1
+        assert radial.graph.num_adjacencies == 0
+
+    def test_predicate_for_matches_contains(self, radial, rng):
+        pred = radial.predicate_for(3)
+        region = radial.region_of(3)
+        for _ in range(20):
+            p = rng.normal(size=3)
+            assert pred(p) == region.contains(p)
+
+    def test_deterministic_given_rng(self):
+        a = RadialSubdivision(np.zeros(3), 5.0, 32, rng=np.random.default_rng(7))
+        b = RadialSubdivision(np.zeros(3), 5.0, 32, rng=np.random.default_rng(7))
+        assert np.allclose(a.targets, b.targets)

@@ -1,0 +1,155 @@
+"""Tests for uniform grid subdivision and the region graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB
+from repro.subdivision import RegionGraph, UniformSubdivision, grid_shape_for
+from repro.subdivision.uniform import BoxRegion
+
+
+class TestGridShape:
+    def test_reaches_target(self):
+        shape = grid_shape_for(100, 2, np.array([1.0, 1.0]))
+        assert np.prod(shape) >= 100
+
+    def test_proportional_to_extents(self):
+        shape = grid_shape_for(64, 2, np.array([4.0, 1.0]))
+        assert shape[0] > shape[1]
+
+    def test_single_region(self):
+        assert grid_shape_for(1, 3, np.ones(3)) == (1, 1, 1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            grid_shape_for(0, 2, np.ones(2))
+        with pytest.raises(ValueError):
+            grid_shape_for(4, 2, np.array([1.0, -1.0]))
+
+
+class TestUniformSubdivision:
+    @pytest.fixture
+    def sub(self):
+        return UniformSubdivision(AABB([-2, -2], [2, 2]), 16, overlap=0.2)
+
+    def test_region_count(self, sub):
+        assert sub.num_regions == 16
+        assert sub.shape == (4, 4)
+
+    def test_regions_tile_the_space(self, sub):
+        total = sum(sub.region_of(r).volume() for r in sub.graph.region_ids())
+        assert total == pytest.approx(16.0)
+
+    def test_cores_disjoint(self, sub):
+        regions = [sub.region_of(r) for r in sub.graph.region_ids()]
+        for i in range(len(regions)):
+            for j in range(i + 1, len(regions)):
+                assert regions[i].bounds.intersection_volume(regions[j].bounds) == 0.0
+
+    def test_sample_bounds_include_core(self, sub):
+        for rid in sub.graph.region_ids():
+            region = sub.region_of(rid)
+            assert region.sample_bounds.intersection_volume(region.bounds) == pytest.approx(
+                region.bounds.volume()
+            )
+
+    def test_sample_bounds_clipped_to_workspace(self, sub):
+        for rid in sub.graph.region_ids():
+            sb = sub.region_of(rid).sample_bounds
+            assert (sb.lo >= sub.bounds.lo - 1e-12).all()
+            assert (sb.hi <= sub.bounds.hi + 1e-12).all()
+
+    def test_face_adjacency_count(self, sub):
+        # 4x4 grid: 2*4*3 = 24 face adjacencies.
+        assert sub.graph.num_adjacencies == 24
+
+    def test_diagonal_adjacency(self):
+        sub = UniformSubdivision(AABB([0, 0], [2, 2]), 4, include_diagonal=True)
+        assert sub.graph.num_adjacencies == 6  # 4 faces + 2 diagonals
+
+    def test_locate_matches_contains(self, sub, rng):
+        pts = rng.uniform(-2, 2, size=(200, 2))
+        for p in pts:
+            rid = sub.locate(p)
+            assert sub.region_of(rid).contains(p)
+
+    def test_locate_batch_matches_scalar(self, sub, rng):
+        pts = rng.uniform(-2.5, 2.5, size=(100, 2))
+        batch = sub.locate_batch(pts)
+        scalar = [sub.locate(p) for p in pts]
+        assert batch.tolist() == scalar
+
+    def test_locate_clamps_outside_points(self, sub):
+        rid = sub.locate(np.array([99.0, 99.0]))
+        assert rid == sub.num_regions - 1
+
+    def test_3d_grid(self):
+        sub = UniformSubdivision(AABB([0, 0, 0], [1, 1, 1]), 27)
+        assert sub.shape == (3, 3, 3)
+        assert sub.graph.num_adjacencies == 3 * 9 * 2
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            UniformSubdivision(AABB([0, 0], [1, 1]), 4, overlap=-0.1)
+
+
+class TestRegionGraph:
+    def test_duplicate_region_rejected(self):
+        g = RegionGraph()
+        g.add_region(BoxRegion(id=0, bounds=AABB([0, 0], [1, 1]), sample_bounds=AABB([0, 0], [1, 1])))
+        with pytest.raises(KeyError):
+            g.add_region(BoxRegion(id=0, bounds=AABB([0, 0], [1, 1]), sample_bounds=AABB([0, 0], [1, 1])))
+
+    def test_self_adjacency_rejected(self):
+        g = RegionGraph()
+        g.add_region(BoxRegion(id=0, bounds=AABB([0, 0], [1, 1]), sample_bounds=AABB([0, 0], [1, 1])))
+        with pytest.raises(ValueError):
+            g.add_adjacency(0, 0)
+
+    def test_weights_and_loads(self):
+        g = RegionGraph()
+        for i in range(4):
+            g.add_region(
+                BoxRegion(id=i, bounds=AABB([i, 0], [i + 1, 1]), sample_bounds=AABB([i, 0], [i + 1, 1])),
+                weight=float(i),
+            )
+        g.set_assignment({0: 0, 1: 0, 2: 1, 3: 1})
+        loads = g.pe_loads(2)
+        assert loads.tolist() == [1.0, 5.0]
+
+    def test_negative_weight_rejected(self):
+        g = RegionGraph()
+        g.add_region(BoxRegion(id=0, bounds=AABB([0, 0], [1, 1]), sample_bounds=AABB([0, 0], [1, 1])))
+        with pytest.raises(ValueError):
+            g.set_weight(0, -1.0)
+
+    def test_incomplete_assignment_rejected(self):
+        g = RegionGraph()
+        for i in range(2):
+            g.add_region(BoxRegion(id=i, bounds=AABB([i, 0], [i + 1, 1]), sample_bounds=AABB([i, 0], [i + 1, 1])))
+        with pytest.raises(ValueError):
+            g.set_assignment({0: 0})
+
+    def test_edge_cut(self):
+        g = RegionGraph()
+        for i in range(3):
+            g.add_region(BoxRegion(id=i, bounds=AABB([i, 0], [i + 1, 1]), sample_bounds=AABB([i, 0], [i + 1, 1])))
+        g.add_adjacency(0, 1)
+        g.add_adjacency(1, 2)
+        g.set_assignment({0: 0, 1: 0, 2: 1})
+        assert g.edge_cut() == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 64), seed=st.integers(0, 1000))
+def test_every_point_in_exactly_one_core_region(n, seed):
+    """Property: grid cores partition the space (up to boundaries)."""
+    sub = UniformSubdivision(AABB([-1, -1], [1, 1]), n)
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1, 1, size=(50, 2))
+    for p in pts:
+        owners = [rid for rid in sub.graph.region_ids() if sub.region_of(rid).contains(p)]
+        assert sub.locate(p) in owners
+        assert len(owners) in (1, 2, 4)  # >1 only exactly on boundaries

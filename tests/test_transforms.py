@@ -1,0 +1,94 @@
+"""Tests for SE(2)/SE(3) transforms and angle utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    angular_difference,
+    rot2d,
+    rot3d_euler,
+    transform_points_se2,
+    transform_points_se3,
+    wrap_angle,
+)
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert wrap_angle(1.0) == pytest.approx(1.0)
+
+    def test_wraps_past_pi(self):
+        assert wrap_angle(np.pi + 0.5) == pytest.approx(-np.pi + 0.5)
+
+    def test_pi_maps_to_pi(self):
+        assert wrap_angle(np.pi) == pytest.approx(np.pi)
+        assert wrap_angle(-np.pi) == pytest.approx(np.pi)
+
+    def test_array_input(self):
+        out = wrap_angle(np.array([0.0, 2 * np.pi, -2 * np.pi]))
+        assert np.allclose(out, [0.0, 0.0, 0.0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(theta=st.floats(-50, 50))
+    def test_wrap_angle_range_property(self, theta):
+        w = wrap_angle(theta)
+        assert -np.pi < w <= np.pi
+        # Same angle modulo 2*pi (residue may land near 0 or near 2*pi).
+        r = abs(theta - w) % (2 * np.pi)
+        assert min(r, 2 * np.pi - r) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestAngularDifference:
+    def test_shortest_path(self):
+        assert angular_difference(0.1, -0.1) == pytest.approx(-0.2)
+        assert angular_difference(np.pi - 0.1, -np.pi + 0.1) == pytest.approx(0.2)
+
+    def test_antisymmetry(self):
+        d1 = angular_difference(0.3, 2.0)
+        d2 = angular_difference(2.0, 0.3)
+        assert d1 == pytest.approx(-d2)
+
+
+class TestRotations:
+    def test_rot2d_orthonormal(self):
+        R = rot2d(0.7)
+        assert np.allclose(R @ R.T, np.eye(2))
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_rot2d_quarter_turn(self):
+        R = rot2d(np.pi / 2)
+        assert np.allclose(R @ np.array([1.0, 0.0]), [0.0, 1.0], atol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rx=st.floats(-np.pi, np.pi),
+        ry=st.floats(-np.pi, np.pi),
+        rz=st.floats(-np.pi, np.pi),
+    )
+    def test_rot3d_orthonormal_property(self, rx, ry, rz):
+        R = rot3d_euler(rx, ry, rz)
+        assert np.allclose(R @ R.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+
+class TestTransforms:
+    def test_se2_translation_only(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = transform_points_se2(pts, np.array([2.0, 3.0, 0.0]))
+        assert np.allclose(out, [[3.0, 3.0], [2.0, 4.0]])
+
+    def test_se2_rotation(self):
+        pts = np.array([[1.0, 0.0]])
+        out = transform_points_se2(pts, np.array([0.0, 0.0, np.pi / 2]))
+        assert np.allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_se3_preserves_distances(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(10, 3))
+        cfg = np.array([1.0, -2.0, 0.5, 0.3, -0.7, 1.1])
+        out = transform_points_se3(pts, cfg)
+        d_in = np.linalg.norm(pts[0] - pts[5])
+        d_out = np.linalg.norm(out[0] - out[5])
+        assert d_in == pytest.approx(d_out)
