@@ -1,15 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: build a roadmap, answer a motion-planning query, then run
 the same problem through the load-balanced parallel PRM on a simulated
-768-core machine.
+768-core machine — via the one-call ``plan()`` facade, with a tracer
+recording the run.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
+from repro import JsonlSink, MemorySink, PlanRequest, Tracer, plan
 from repro.bench import format_table
-from repro.core import build_prm_workload, simulate_prm
 from repro.cspace import EuclideanCSpace
 from repro.geometry import med_cube
 from repro.planners import PRM, RoadmapQuery
@@ -41,30 +42,50 @@ def main() -> None:
               f"length {query.length:.1f}")
 
     # ------------------------------------------------------------------
-    # 2. Parallel planning: uniform subdivision + load balancing on a
-    #    simulated cluster (virtual time from real planner work).
+    # 2. Parallel planning through the plan() facade: one call composes
+    #    workload construction, load balancing, and the simulated
+    #    768-core machine.  A tracer records the last run as a trace you
+    #    can inspect with `python -m repro.obs summarize trace.jsonl`.
     # ------------------------------------------------------------------
-    print("\nBuilding the regional workload (real planning, done once)...")
-    workload = build_prm_workload(cspace, num_regions=1500, samples_per_region=6, seed=1)
-    print(f"  {workload.num_regions} regions, {workload.roadmap.num_vertices} roadmap nodes")
-
+    print("\nParallel PRM on a simulated 768-core machine:")
     rows = []
+    base = None
     for strategy in ("none", "repartition", "hybrid", "rand-8"):
-        run = simulate_prm(workload, 768, strategy)
+        tracer = Tracer(sinks=[MemorySink(), JsonlSink("quickstart_trace.jsonl")])
+        report = plan(
+            PlanRequest(
+                environment="med-cube",
+                planner="prm",
+                num_regions=1500,
+                samples_per_region=6,
+                strategy=strategy,
+                num_pes=768,
+                seed=1,
+                tracer=tracer,
+            )
+        )
+        tracer.close()
+        if base is None:
+            base = report.total_time
+            print(f"  workload: {report.workload.num_regions} regions, "
+                  f"{report.roadmap.num_vertices} roadmap nodes")
+        summary = report.trace_summary()
         rows.append(
             [
                 strategy,
-                f"{run.total_time:.0f}",
-                f"{run.phases.node_connection:.0f}",
-                f"{run.phases.region_connection:.0f}",
-                f"{rows[0][1] if rows else run.total_time}",
+                f"{report.total_time:.0f}",
+                f"{summary.phases['construct']:.0f}",
+                f"{summary.phases['connect']:.0f}",
+                summary.steal_requests,
+                f"{base / report.total_time:.2f}x",
             ]
         )
-    base = float(rows[0][1])
-    for row in rows:
-        row[-1] = f"{base / float(row[1]):.2f}x"
-    print("\nParallel PRM on a simulated 768-core machine:")
-    print(format_table(["strategy", "virtual time", "node conn", "region conn", "speedup"], rows))
+    print(format_table(
+        ["strategy", "virtual time", "construct", "connect", "steal reqs", "speedup"],
+        rows,
+    ))
+    print("\nTrace of the last run written to quickstart_trace.jsonl; try:")
+    print("  python -m repro.obs summarize quickstart_trace.jsonl")
 
 
 if __name__ == "__main__":

@@ -24,10 +24,48 @@ Packages
 ``repro.core``
     The paper's contribution: load-balanced parallel PRM / RRT, work
     stealing policies, repartitioning, and the theoretical model.
+``repro.obs``
+    Structured tracing + metrics: typed events, sinks (memory / JSON
+    lines), and a trace summariser (``python -m repro.obs summarize``).
+``repro.api``
+    The ``plan(PlanRequest(...)) -> PlanReport`` facade over the whole
+    pipeline.
 ``repro.bench``
     Drivers that regenerate every figure in the paper's evaluation.
+
+Quick start
+-----------
+>>> from repro import PlanRequest, plan
+>>> report = plan(PlanRequest(environment="med-cube", strategy="hybrid",
+...                           num_regions=512, num_pes=96, seed=1))
+>>> print(report.summary())
 """
 
-__version__ = "1.0.0"
+from .api import PlanReport, PlanRequest, plan
+from .obs import (
+    JsonlSink,
+    MemorySink,
+    MetricRegistry,
+    NullTracer,
+    Tracer,
+    format_summary,
+    read_jsonl,
+    summarize_events,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "PlanRequest",
+    "PlanReport",
+    "plan",
+    "Tracer",
+    "NullTracer",
+    "MemorySink",
+    "JsonlSink",
+    "MetricRegistry",
+    "read_jsonl",
+    "summarize_events",
+    "format_summary",
+]

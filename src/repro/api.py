@@ -1,0 +1,364 @@
+"""repro.api — one entry point over the whole planning pipeline.
+
+The repo's primitives are deliberately separable (build a workload once,
+replay it under many strategies), but most callers want the whole chain:
+environment → subdivision → regional planning → weights/repartition →
+simulated machine or local pool.  :func:`plan` composes it:
+
+    >>> from repro import PlanRequest, plan
+    >>> report = plan(PlanRequest(environment="med-cube", planner="prm",
+    ...                           num_regions=512, strategy="hybrid",
+    ...                           num_pes=96, seed=1))
+    >>> report.total_time, report.sim.efficiency()
+
+Every knob rides on the request — the steal policy, the initial
+partitioner, the machine topology, and a :class:`repro.obs.Tracer` that
+records the run as a structured trace.  The legacy entry points
+(``build_prm_workload`` / ``simulate_prm`` and the RRT pair) remain the
+underlying building blocks and keep working unchanged; ``plan()`` is the
+facade over them.
+
+``execution="simulate"`` (default) replays the measured workload on a
+virtual machine of ``num_pes`` PEs.  ``execution="local"`` instead runs
+the regional planners truly in parallel on this machine's cores via
+:func:`repro.runtime.run_tasks_parallel` and reports wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .core.parallel_prm import (
+    ID_SHIFT,
+    PRMRunResult,
+    PRMWorkload,
+    _positional_bounds,
+    _region_sample_box,
+    build_prm_workload,
+    simulate_prm,
+)
+from .core.parallel_rrt import (
+    RRTRunResult,
+    RRTWorkload,
+    _lift_position,
+    build_rrt_workload,
+    simulate_rrt,
+)
+from .cspace.space import ConfigurationSpace, EuclideanCSpace
+from .geometry import environments
+from .obs.summary import TraceSummary, format_summary, summarize_events
+from .obs.tracer import active
+from .planners.prm import PRM
+from .planners.roadmap import Roadmap
+from .planners.rrt import RRT
+from .runtime.local_pool import PoolResult, run_tasks_parallel
+from .subdivision.radial import RadialSubdivision
+from .subdivision.uniform import UniformSubdivision
+
+if TYPE_CHECKING:
+    from .obs.tracer import Tracer
+    from .runtime.stats import SimResult
+    from .runtime.topology import ClusterTopology
+
+__all__ = ["PlanRequest", "PlanReport", "plan"]
+
+_PLANNERS = ("prm", "rrt")
+_EXECUTIONS = ("simulate", "local")
+_STRATEGIES = ("none", "repartition", "rand-8", "rand-k", "diffusive", "hybrid")
+
+
+@dataclass
+class PlanRequest:
+    """Everything :func:`plan` needs, in one declarative record."""
+
+    #: benchmark environment name (see ``repro.geometry.environments``) or
+    #: an Environment instance.
+    environment: "str | object" = "med-cube"
+    planner: str = "prm"
+    num_regions: int = 256
+    #: PRM per-region sample budget (the paper's N / Nr).
+    samples_per_region: int = 8
+    #: RRT per-branch node budget.
+    nodes_per_region: int = 12
+    #: load-balancing strategy: "none", "repartition", "rand-8",
+    #: "diffusive" or "hybrid".
+    strategy: str = "none"
+    #: initial region->PE distribution: "block" (paper's naive mapping),
+    #: "greedy" or "rcb".
+    partitioner: str = "block"
+    num_pes: int = 16
+    seed: int = 0
+    topology: "ClusterTopology | None" = None
+    steal_chunk: "str | int" = "half"
+    #: observability hook; None (default) records nothing.
+    tracer: "Tracer | None" = None
+    #: "simulate" replays on the virtual machine; "local" runs the
+    #: regional planners on this machine's cores for real wall-clock.
+    execution: str = "simulate"
+    #: local-execution pool size and backend.
+    workers: int = 4
+    backend: str = "thread"
+    #: extra keyword arguments forwarded to ``build_*_workload``.
+    workload_options: "dict" = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.planner not in _PLANNERS:
+            raise ValueError(f"planner must be one of {_PLANNERS}, got {self.planner!r}")
+        if self.execution not in _EXECUTIONS:
+            raise ValueError(
+                f"execution must be one of {_EXECUTIONS}, got {self.execution!r}"
+            )
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.num_regions < 1:
+            raise ValueError("num_regions must be >= 1")
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+
+    def resolve_cspace(self) -> ConfigurationSpace:
+        env = self.environment
+        if isinstance(env, str):
+            env = environments.by_name(env)
+        return EuclideanCSpace(env)
+
+
+@dataclass
+class PlanReport:
+    """What came back: the workload, the machine result, and accessors
+    that read the same regardless of planner or execution mode."""
+
+    request: PlanRequest
+    #: measured workload (simulate mode; None for local execution).
+    workload: "PRMWorkload | RRTWorkload | None"
+    #: simulated run (None for local execution).
+    result: "PRMRunResult | RRTRunResult | None"
+    #: local pool accounting (None for simulate mode).
+    pool: "PoolResult | None"
+    #: merged roadmap / tree across regions.
+    roadmap: Roadmap
+
+    @property
+    def phases(self):
+        """Per-phase breakdown (PhaseBreakdown protocol); simulate only."""
+        return self.result.phases if self.result is not None else None
+
+    @property
+    def sim(self) -> "SimResult | None":
+        """Simulator output of the load-balanced phase; simulate only."""
+        return self.result.sim if self.result is not None else None
+
+    @property
+    def total_time(self) -> float:
+        """Virtual seconds (simulate) or wall seconds (local)."""
+        if self.result is not None:
+            return self.result.total_time
+        return self.pool.wall_time if self.pool is not None else 0.0
+
+    @property
+    def metrics(self) -> "dict[str, object] | None":
+        """Snapshot of the tracer's metric registry, if one was attached."""
+        tr = active(self.request.tracer)
+        return tr.metrics.as_dict() if tr is not None else None
+
+    def trace_summary(self) -> "TraceSummary | None":
+        """Aggregate the attached tracer's in-memory trace, if any."""
+        tr = active(self.request.tracer)
+        if tr is None or tr.memory is None:
+            return None
+        return summarize_events(tr.memory.events)
+
+    def summary(self) -> str:
+        """Human-readable report of the run."""
+        lines = [
+            f"{self.request.planner.upper()} / {self.request.strategy} "
+            f"on {self.request.num_pes} PEs ({self.request.execution})",
+            f"roadmap: {self.roadmap.num_vertices} vertices, "
+            f"{self.roadmap.num_edges} edges",
+            f"total time: {self.total_time:.2f}",
+        ]
+        if self.pool is not None:
+            slowest = self.pool.slowest_task()
+            if slowest is not None:
+                lines.append(
+                    f"slowest region: #{slowest[0]} at {slowest[1]:.3f}s "
+                    f"across {self.pool.workers} workers"
+                )
+        ts = self.trace_summary()
+        if ts is not None:
+            lines += ["", format_summary(ts)]
+        return "\n".join(lines)
+
+
+def plan(request: PlanRequest) -> PlanReport:
+    """Run the full pipeline described by ``request``."""
+    request.validate()
+    cspace = request.resolve_cspace()
+    if request.execution == "local":
+        return _plan_local(request, cspace)
+    if request.planner == "prm":
+        workload = build_prm_workload(
+            cspace,
+            num_regions=request.num_regions,
+            samples_per_region=request.samples_per_region,
+            seed=request.seed,
+            **request.workload_options,
+        )
+        result = simulate_prm(
+            workload,
+            request.num_pes,
+            request.strategy,
+            topology=request.topology,
+            steal_chunk=request.steal_chunk,
+            tracer=request.tracer,
+            initial_partitioner=request.partitioner,
+        )
+    else:
+        root = _default_root(cspace, request.seed)
+        workload = build_rrt_workload(
+            cspace,
+            root,
+            num_regions=request.num_regions,
+            nodes_per_region=request.nodes_per_region,
+            seed=request.seed,
+            **request.workload_options,
+        )
+        result = simulate_rrt(
+            workload,
+            request.num_pes,
+            request.strategy,
+            topology=request.topology,
+            steal_chunk=request.steal_chunk,
+            tracer=request.tracer,
+            initial_partitioner=request.partitioner,
+        )
+    return PlanReport(
+        request=request,
+        workload=workload,
+        result=result,
+        pool=None,
+        roadmap=workload.roadmap,
+    )
+
+
+def _default_root(cspace: ConfigurationSpace, seed: int) -> np.ndarray:
+    """A valid RRT root: the bounds centre if free, else a valid sample.
+
+    Sampling starts near the centre and widens to the full bounds — some
+    environments (e.g. med-cube) block the entire central region.
+    """
+    lo, hi = cspace.bounds.lo, cspace.bounds.hi
+    mid = (lo + hi) / 2.0
+    root = mid.copy()
+    rng = np.random.default_rng(seed)
+    for attempt in range(10_000):
+        if cspace.valid_single(root):
+            return root
+        scale = 0.3 if attempt < 64 else 1.0
+        root = rng.uniform(mid + scale * (lo - mid), mid + scale * (hi - mid))
+    raise ValueError("no valid RRT root found; environment looks fully blocked")
+
+
+# ---------------------------------------------------------------------------
+# Local (true-parallel) execution
+# ---------------------------------------------------------------------------
+# Module-level tasks bound with functools.partial so the "process" backend
+# can pickle them; the default "thread" backend works either way.
+
+def _prm_region_task(
+    cspace: ConfigurationSpace,
+    subdivision: UniformSubdivision,
+    samples_per_region: int,
+    seed: int,
+    rid: int,
+) -> Roadmap:
+    region = subdivision.region_of(rid)
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
+    planner = PRM(cspace, connect_same_component=False)
+    within = _region_sample_box(cspace, region.sample_bounds)
+    result = planner.build(
+        samples_per_region, rng, within=within, id_base=rid << ID_SHIFT
+    )
+    return result.roadmap
+
+
+def _rrt_region_task(
+    cspace: ConfigurationSpace,
+    radial: RadialSubdivision,
+    root: np.ndarray,
+    nodes_per_region: int,
+    seed: int,
+    rid: int,
+) -> Roadmap:
+    region = radial.region_of(rid)
+    pos_dims = list(cspace.positional_dims)
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
+    planner = RRT(cspace)
+    result = planner.grow(
+        root,
+        nodes_per_region,
+        rng,
+        bias_target=_lift_position(cspace, region.target, root),
+        region_predicate=lambda q, region=region, dims=pos_dims: region.contains(
+            np.asarray(q)[dims]
+        ),
+        max_iterations=40 * nodes_per_region,
+        id_base=rid << ID_SHIFT,
+    )
+    return result.tree
+
+
+def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
+    """Run the regional planners for real on the local machine's cores.
+
+    The pool's greedy dynamic dispatch is the shared-memory analogue of
+    work stealing, so the ``strategy`` field is irrelevant here; regions
+    are the unit of work exactly as on the simulated machine.
+    """
+    if request.planner == "prm":
+        subdivision = UniformSubdivision(
+            _positional_bounds(cspace), request.num_regions, overlap=0.2
+        )
+        task = partial(
+            _prm_region_task, cspace, subdivision, request.samples_per_region, request.seed
+        )
+        region_ids = subdivision.graph.region_ids()
+    else:
+        root = _default_root(cspace, request.seed)
+        pos_dims = list(cspace.positional_dims)
+        root_pos = root[pos_dims]
+        radius = float(
+            min(
+                np.min(root_pos - cspace.bounds.lo[pos_dims]),
+                np.min(cspace.bounds.hi[pos_dims] - root_pos),
+            )
+        )
+        radial = RadialSubdivision(
+            root_pos,
+            radius,
+            request.num_regions,
+            rng=np.random.default_rng(request.seed),
+        )
+        task = partial(
+            _rrt_region_task, cspace, radial, root, request.nodes_per_region, request.seed
+        )
+        region_ids = radial.graph.region_ids()
+
+    pool = run_tasks_parallel(
+        task,
+        region_ids,
+        workers=request.workers,
+        backend=request.backend,
+        tracer=request.tracer,
+    )
+    merged = Roadmap(cspace.dim)
+    for rid in sorted(pool.results):
+        merged.merge(pool.results[rid])
+    return PlanReport(
+        request=request, workload=None, result=None, pool=pool, roadmap=merged
+    )

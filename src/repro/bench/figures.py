@@ -12,10 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.metrics import coefficient_of_variation, percent_improvement
+from ..core.metrics import coefficient_of_variation, percent_improvement, phases_dict
 from ..core.model import ModelEnvironmentAnalysis
 from ..core.parallel_prm import simulate_prm
-from ..core.parallel_rrt import simulate_rrt
 from .harness import (
     PRM_STRATEGIES,
     RRT_STRATEGIES,
@@ -186,11 +185,15 @@ def fig7a_phase_breakdown(num_pes: int = 192, verbose: bool = True):
     out = []
     for strat in PRM_STRATEGIES:
         r = simulate_prm(wl, num_pes, strat)
+        # Canonical phase names via the PhaseBreakdown protocol: the same
+        # code consumes PRM and RRT results (construct = the LB'd phase,
+        # connect = inter-region connection).
+        pd = phases_dict(r.phases)
         out.append(
             {
                 "strategy": strat,
-                "region_connection": r.phases.region_connection,
-                "node_connection": r.phases.node_connection,
+                "region_connection": pd["connect"],
+                "node_connection": pd["construct"],
                 "other": r.phases.other,
                 "total": r.total_time,
             }
@@ -250,8 +253,8 @@ def fig9_steal_distribution(pe_counts=(96, 768), verbose: bool = True):
     out = {}
     for P in pe_counts:
         r = simulate_prm(wl, P, "hybrid")
-        stolen = r.connection_sim.stolen_per_pe()
-        total = r.connection_sim.tasks_per_pe()
+        stolen = r.sim.stolen_per_pe()
+        total = r.sim.tasks_per_pe()
         out[P] = {"stolen": stolen, "non_stolen": total - stolen}
         if verbose:
             frac_thieves = float(np.mean(stolen > 0))

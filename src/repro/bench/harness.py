@@ -9,6 +9,7 @@ session.  Simulation replays per (strategy, PE count) are cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -16,6 +17,9 @@ from ..core.parallel_prm import PRMWorkload, build_prm_workload, simulate_prm
 from ..core.parallel_rrt import RRTWorkload, build_rrt_workload, simulate_rrt
 from ..cspace.space import EuclideanCSpace
 from ..geometry import environments
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = [
     "prm_workload",
@@ -92,13 +96,18 @@ def prm_scaling_table(
     workload: PRMWorkload,
     pe_counts: "list[int]",
     strategies: "tuple[str, ...]" = PRM_STRATEGIES,
+    tracer: "Tracer | None" = None,
 ) -> "list[ScalingRow]":
-    """Strong-scaling sweep of parallel PRM; first strategy must be the baseline."""
+    """Strong-scaling sweep of parallel PRM; first strategy must be the baseline.
+
+    ``tracer`` (optional) observes every replay; the default ``None``
+    keeps the sweep at zero instrumentation overhead.
+    """
     rows: "list[ScalingRow]" = []
     for P in pe_counts:
         base = None
         for strat in strategies:
-            result = simulate_prm(workload, P, strat)
+            result = simulate_prm(workload, P, strat, tracer=tracer)
             if base is None:
                 base = result.total_time
             rows.append(ScalingRow(P, strat, result.total_time, base / result.total_time))
@@ -109,12 +118,13 @@ def rrt_scaling_table(
     workload: RRTWorkload,
     pe_counts: "list[int]",
     strategies: "tuple[str, ...]" = RRT_STRATEGIES,
+    tracer: "Tracer | None" = None,
 ) -> "list[ScalingRow]":
     rows: "list[ScalingRow]" = []
     for P in pe_counts:
         base = None
         for strat in strategies:
-            result = simulate_rrt(workload, P, strat)
+            result = simulate_rrt(workload, P, strat, tracer=tracer)
             if base is None:
                 base = result.total_time
             rows.append(ScalingRow(P, strat, result.total_time, base / result.total_time))

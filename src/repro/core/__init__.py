@@ -1,10 +1,14 @@
 """The paper's contribution: load-balanced parallel PRM and RRT."""
 
 from .metrics import (
+    PhaseBreakdown,
+    PlannerRunResult,
     coefficient_of_variation,
+    emit_phase_spans,
     ideal_loads,
     max_load_reduction,
     percent_improvement,
+    phases_dict,
     speedup,
 )
 from .model import ModelEnvironmentAnalysis, ModelPoint
@@ -36,10 +40,14 @@ from .weights import (
 from .work_stealing import DiffusivePolicy, HybridPolicy, RandKPolicy, policy_by_name
 
 __all__ = [
+    "PhaseBreakdown",
+    "PlannerRunResult",
     "coefficient_of_variation",
+    "emit_phase_spans",
     "ideal_loads",
     "max_load_reduction",
     "percent_improvement",
+    "phases_dict",
     "speedup",
     "ModelEnvironmentAnalysis",
     "ModelPoint",

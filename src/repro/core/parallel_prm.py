@@ -22,13 +22,25 @@ comparisons exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import ConfigurationSpace
 from ..geometry.primitives import AABB
+from ..obs.events import (
+    EV_REMOTE_ACCESS,
+    PHASE_CONNECT,
+    PHASE_CONSTRUCT,
+    PHASE_GENERATE,
+    PHASE_REPARTITION,
+    PHASE_SUBDIVIDE,
+    PHASE_TERMINATE,
+    PHASE_WEIGH,
+)
+from ..obs.tracer import active
 from ..planners.prm import PRM
 from ..planners.roadmap import Roadmap
 from ..planners.stats import PlannerStats, WorkModel
@@ -38,9 +50,13 @@ from ..runtime.stats import SimResult
 from ..runtime.termination import detection_delay_tree
 from ..runtime.topology import ClusterTopology
 from ..subdivision.uniform import UniformSubdivision
+from .metrics import emit_phase_spans
 from .repartition import RepartitionResult, repartition
 from .weights import prm_sample_count_weights
 from .work_stealing import policy_by_name
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = [
     "RegionWork",
@@ -107,24 +123,47 @@ class PRMWorkload:
 
 @dataclass
 class PhaseTimes:
-    """Virtual seconds per phase (the Fig. 7a breakdown)."""
+    """Virtual seconds per phase (the Fig. 7a breakdown).
+
+    Implements the :class:`repro.core.metrics.PhaseBreakdown` protocol:
+    :meth:`phase_items` exposes the same numbers under the canonical
+    cross-planner phase names used by trace spans.
+    """
 
     region_construction: float = 0.0
     node_generation: float = 0.0
     node_connection: float = 0.0
     region_connection: float = 0.0
+    #: weight-probe time; 0 for PRM (sample counts fall out of generation).
+    weigh: float = 0.0
     lb_overhead: float = 0.0
     termination: float = 0.0
 
     @property
     def other(self) -> float:
         return (
-            self.region_construction + self.node_generation + self.lb_overhead + self.termination
+            self.region_construction
+            + self.node_generation
+            + self.weigh
+            + self.lb_overhead
+            + self.termination
         )
 
     @property
     def total(self) -> float:
         return self.other + self.node_connection + self.region_connection
+
+    def phase_items(self) -> "list[tuple[str, float]]":
+        """Canonical (name, duration) pairs in timeline order."""
+        return [
+            (PHASE_SUBDIVIDE, self.region_construction),
+            (PHASE_GENERATE, self.node_generation),
+            (PHASE_WEIGH, self.weigh),
+            (PHASE_REPARTITION, self.lb_overhead),
+            (PHASE_CONSTRUCT, self.node_connection),
+            (PHASE_TERMINATE, self.termination),
+            (PHASE_CONNECT, self.region_connection),
+        ]
 
 
 @dataclass
@@ -150,6 +189,17 @@ class PRMRunResult:
     @property
     def total_time(self) -> float:
         return self.phases.total
+
+    # -- PlannerRunResult protocol (uniform across PRM / RRT) --------------
+    @property
+    def sim(self) -> SimResult:
+        """Simulator output of the load-balanced phase (node connection)."""
+        return self.connection_sim
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-PE virtual work in the load-balanced phase."""
+        return self.connection_loads
 
 
 # ---------------------------------------------------------------------------
@@ -337,17 +387,33 @@ def simulate_prm(
     topology: ClusterTopology | None = None,
     steal_chunk: "str | int" = "half",
     rng_seed: int = 12345,
+    tracer: "Tracer | None" = None,
+    initial_partitioner: "str | None" = None,
 ) -> PRMRunResult:
     """Replay the workload on a virtual machine of ``num_pes`` PEs.
 
     ``strategy`` is one of ``"none"``, ``"repartition"``, ``"rand-8"``
     (or ``"rand-k"``), ``"diffusive"``, ``"hybrid"``.
+
+    ``tracer`` (optional) records the run: one span per phase on the
+    run's virtual timeline, the full steal protocol inside the
+    ``construct`` span, and the repartition decision.
+
+    ``initial_partitioner`` overrides the paper's naive block mapping for
+    the *initial* distribution: ``"block"`` (default), ``"greedy"``
+    (unweighted LPT) or ``"rcb"`` (recursive coordinate bisection).
     """
     topology = topology or ClusterTopology(num_pes)
     if topology.num_pes != num_pes:
         raise ValueError("topology PE count mismatch")
+    tr = active(tracer)
     phases = PhaseTimes()
-    naive = _naive_assignment(workload, num_pes)
+    if initial_partitioner in (None, "block"):
+        naive = _naive_assignment(workload, num_pes)
+    else:
+        from ..partition import partition_by_name
+
+        naive = partition_by_name(workload.subdivision.graph, num_pes, initial_partitioner)
     region_ids = workload.subdivision.graph.region_ids()
 
     # Phase 1: region construction (embarrassingly parallel, tiny).
@@ -363,28 +429,38 @@ def simulate_prm(
         gen_loads[naive[rid]] += gen_costs[rid]
     phases.node_generation = float(gen_loads.max())
 
-    # Load balancing decision.
+    # Load balancing decision.  The repartition decision event lands at
+    # the start of the repartition phase on the run's virtual timeline.
+    t_lb = phases.region_construction + phases.node_generation + phases.weigh
     repart_info: RepartitionResult | None = None
     connect_assignment = naive
     steal_policy = None
     if strategy == "repartition":
         weights = workload.sample_count_weights()
         repart_info = repartition(
-            workload.subdivision.graph, weights, naive, topology
+            workload.subdivision.graph,
+            weights,
+            naive,
+            topology,
+            tracer=tr.offset(t_lb) if tr is not None else None,
         )
         connect_assignment = repart_info.assignment
         phases.lb_overhead = repart_info.overhead
     elif strategy != "none":
         steal_policy = policy_by_name(strategy)
 
-    # Phase 3: node connection (the load-balanced phase).
+    # Phase 3: node connection (the load-balanced phase).  The simulator
+    # runs on a phase-local clock; offsetting its tracer embeds the task
+    # and steal events inside the ``construct`` span.
+    t_construct = t_lb + phases.lb_overhead
+    sim_tracer = tr.offset(t_construct) if tr is not None else None
     connect_costs = {rid: workload.region_work[rid].connect_cost for rid in region_ids}
 
     def executor(task: int, pe: int) -> float:
         return connect_costs[task]
 
     if steal_policy is None:
-        sim = run_static_phase(topology, executor, connect_assignment)
+        sim = run_static_phase(topology, executor, connect_assignment, tracer=sim_tracer)
     else:
         simulator = WorkStealingSimulator(
             topology,
@@ -392,6 +468,7 @@ def simulate_prm(
             steal_policy=steal_policy,
             steal_chunk=steal_chunk,
             rng=np.random.default_rng(rng_seed),
+            tracer=sim_tracer,
         )
         sim = simulator.run(connect_assignment)
         phases.termination = detection_delay_tree(topology)
@@ -425,6 +502,14 @@ def simulate_prm(
         n = workload.region_work[rid].num_samples
         nodes_before[naive[rid]] += n
         nodes_after[final_owner[rid]] += n
+
+    if tr is not None:
+        emit_phase_spans(tr, phases)
+        t_connect = t_construct + phases.node_connection + phases.termination
+        remote = region_view.stats.remote + roadmap_view.stats.remote
+        tr.point(EV_REMOTE_ACCESS, ts=t_connect, count=remote)
+        tr.metrics.counter("remote_accesses").inc(remote)
+        tr.metrics.counter("regions").inc(len(region_ids))
 
     return PRMRunResult(
         strategy=strategy,

@@ -22,12 +22,23 @@ per-strategy machine behaviour is replayed by :func:`simulate_rrt`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import ConfigurationSpace
 from ..knn.brute import BruteForceNN
+from ..obs.events import (
+    EV_REMOTE_ACCESS,
+    PHASE_CONNECT,
+    PHASE_CONSTRUCT,
+    PHASE_REPARTITION,
+    PHASE_SUBDIVIDE,
+    PHASE_TERMINATE,
+    PHASE_WEIGH,
+)
+from ..obs.tracer import active
 from ..planners.roadmap import Roadmap
 from ..planners.rrt import RRT
 from ..planners.stats import PlannerStats, WorkModel
@@ -36,9 +47,13 @@ from ..runtime.stats import SimResult
 from ..runtime.termination import detection_delay_tree
 from ..runtime.topology import ClusterTopology
 from ..subdivision.radial import RadialSubdivision
+from .metrics import emit_phase_spans
 from .repartition import RepartitionResult, repartition
 from .weights import rrt_k_rays_weights
 from .work_stealing import policy_by_name
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = [
     "BranchWork",
@@ -93,27 +108,50 @@ class RRTWorkload:
     def num_regions(self) -> int:
         return self.radial.num_regions
 
+    @property
+    def roadmap(self) -> Roadmap:
+        """Uniform alias: the grown tree, named as the PRM workload names
+        its merged roadmap (lets ``plan()`` report either planner)."""
+        return self.tree
+
     def total_grow_work(self) -> float:
         return sum(w.grow_cost for w in self.branch_work.values())
 
 
 @dataclass
 class RRTPhaseTimes:
+    """Virtual seconds per phase; implements the shared
+    :class:`repro.core.metrics.PhaseBreakdown` protocol."""
+
     region_construction: float = 0.0
     branch_growth: float = 0.0
     branch_connection: float = 0.0
+    #: k-rays free-space probe time (the costly part of RRT weighing).
+    weigh: float = 0.0
     lb_overhead: float = 0.0
     termination: float = 0.0
 
     @property
-    def total(self) -> float:
+    def other(self) -> float:
         return (
-            self.region_construction
-            + self.branch_growth
-            + self.branch_connection
-            + self.lb_overhead
-            + self.termination
+            self.region_construction + self.weigh + self.lb_overhead + self.termination
         )
+
+    @property
+    def total(self) -> float:
+        return self.other + self.branch_growth + self.branch_connection
+
+    def phase_items(self) -> "list[tuple[str, float]]":
+        """Canonical (name, duration) pairs in timeline order; RRT has no
+        ``generate`` phase (branch growth subsumes sampling)."""
+        return [
+            (PHASE_SUBDIVIDE, self.region_construction),
+            (PHASE_WEIGH, self.weigh),
+            (PHASE_REPARTITION, self.lb_overhead),
+            (PHASE_CONSTRUCT, self.branch_growth),
+            (PHASE_TERMINATE, self.termination),
+            (PHASE_CONNECT, self.branch_connection),
+        ]
 
 
 @dataclass
@@ -129,6 +167,17 @@ class RRTRunResult:
     @property
     def total_time(self) -> float:
         return self.phases.total
+
+    # -- PlannerRunResult protocol (uniform across PRM / RRT) --------------
+    @property
+    def sim(self) -> SimResult:
+        """Simulator output of the load-balanced phase (branch growth)."""
+        return self.growth_sim
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-PE virtual work in the load-balanced phase."""
+        return self.growth_loads
 
 
 # ---------------------------------------------------------------------------
@@ -313,22 +362,33 @@ def simulate_rrt(
     k_rays: int = 8,
     steal_chunk: "str | int" = "half",
     rng_seed: int = 54321,
+    tracer: "Tracer | None" = None,
+    initial_partitioner: "str | None" = None,
 ) -> RRTRunResult:
     """Replay the RRT workload on a virtual machine.
 
     ``strategy``: ``"none"``, ``"rand-8"``, ``"diffusive"``, ``"hybrid"``,
     or ``"repartition"`` (k-rays weights; expect it to disappoint, per the
     paper).
+
+    ``tracer`` and ``initial_partitioner`` behave as in
+    :func:`repro.core.parallel_prm.simulate_prm`.
     """
     from ..partition.naive import partition_block
 
     topology = topology or ClusterTopology(num_pes)
     if topology.num_pes != num_pes:
         raise ValueError("topology PE count mismatch")
+    tr = active(tracer)
     phases = RRTPhaseTimes()
     graph = workload.radial.graph
     region_ids = graph.region_ids()
-    naive = partition_block(graph, num_pes)
+    if initial_partitioner in (None, "block"):
+        naive = partition_block(graph, num_pes)
+    else:
+        from ..partition import partition_by_name
+
+        naive = partition_by_name(graph, num_pes, initial_partitioner)
 
     per_pe_regions = np.zeros(num_pes)
     for rid in region_ids:
@@ -339,31 +399,42 @@ def simulate_rrt(
     grow_assignment = naive
     steal_policy = None
     if strategy == "repartition":
+        # Probe cost: each PE casts rays for its regions; makespan term is
+        # the per-PE maximum.  This is the "weigh" phase — the part of RRT
+        # load balancing the paper shows can be a net loss (Fig. 10b).
         weights, casts = rrt_k_rays_weights(
             workload.radial,
             workload.cspace.env,
             k_rays=k_rays,
             rng=np.random.default_rng(rng_seed),
         )
-        repart_info = repartition(graph, weights, naive, topology)
-        grow_assignment = repart_info.assignment
-        # Probe cost: each PE casts rays for its regions; makespan term is
-        # the per-PE maximum.
         probe_loads = np.zeros(num_pes)
         cost_per_cast = workload.work_model.cost_lp_check * k_rays
         for rid in region_ids:
             probe_loads[naive[rid]] += cost_per_cast
-        phases.lb_overhead = repart_info.overhead + float(probe_loads.max())
+        phases.weigh = float(probe_loads.max())
+        t_lb = phases.region_construction + phases.weigh
+        repart_info = repartition(
+            graph,
+            weights,
+            naive,
+            topology,
+            tracer=tr.offset(t_lb) if tr is not None else None,
+        )
+        grow_assignment = repart_info.assignment
+        phases.lb_overhead = repart_info.overhead
     elif strategy != "none":
         steal_policy = policy_by_name(strategy)
 
+    t_construct = phases.region_construction + phases.weigh + phases.lb_overhead
+    sim_tracer = tr.offset(t_construct) if tr is not None else None
     grow_costs = {rid: workload.branch_work[rid].grow_cost for rid in region_ids}
 
     def executor(task: int, pe: int) -> float:
         return grow_costs[task]
 
     if steal_policy is None:
-        sim = run_static_phase(topology, executor, grow_assignment)
+        sim = run_static_phase(topology, executor, grow_assignment, tracer=sim_tracer)
     else:
         simulator = WorkStealingSimulator(
             topology,
@@ -371,6 +442,7 @@ def simulate_rrt(
             steal_policy=steal_policy,
             steal_chunk=steal_chunk,
             rng=np.random.default_rng(rng_seed),
+            tracer=sim_tracer,
         )
         sim = simulator.run(grow_assignment)
         phases.termination = detection_delay_tree(topology)
@@ -378,18 +450,27 @@ def simulate_rrt(
 
     final_owner = dict(sim.executed_by)
     conn_loads = np.zeros(num_pes)
+    remote_reads = 0
     for adj in workload.adjacency_work:
         owner_a = final_owner[adj.a]
         latency = 0.0
         if final_owner[adj.b] != owner_a and adj.vertex_reads:
             # Branch vertex reads ship as one aggregated message.
             latency = topology.latency(owner_a, final_owner[adj.b], payload=adj.vertex_reads)
+            remote_reads += adj.vertex_reads
         conn_loads[owner_a] += adj.cost + latency
     phases.branch_connection = float(conn_loads.max()) if conn_loads.size else 0.0
 
     nodes_per_pe = np.zeros(num_pes)
     for rid in region_ids:
         nodes_per_pe[final_owner[rid]] += workload.branch_work[rid].num_nodes
+
+    if tr is not None:
+        emit_phase_spans(tr, phases)
+        t_connect = t_construct + phases.branch_growth + phases.termination
+        tr.point(EV_REMOTE_ACCESS, ts=t_connect, count=remote_reads)
+        tr.metrics.counter("remote_accesses").inc(remote_reads)
+        tr.metrics.counter("regions").inc(len(region_ids))
 
     return RRTRunResult(
         strategy=strategy,

@@ -14,13 +14,19 @@ overhead of attempting to repartition" observation reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.events import EV_REPARTITION_DECISION
+from ..obs.tracer import active
 from ..partition.greedy import partition_greedy_lpt
 from ..partition.refine import refine_partition
 from ..runtime.topology import ClusterTopology
 from ..subdivision.region import RegionGraph
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = ["RepartitionResult", "repartition"]
 
@@ -51,6 +57,7 @@ def repartition(
     payload_per_weight: float = 1.0,
     payload_per_region: float = 1.0,
     min_gain: float = 0.10,
+    tracer: "Tracer | None" = None,
 ) -> RepartitionResult:
     """Compute and cost a weight-balanced repartition.
 
@@ -82,7 +89,19 @@ def repartition(
         old_loads[old_assignment[rid]] += w
         new_loads[new_assignment[rid]] += w
     old_max, new_max = float(old_loads.max()), float(new_loads.max())
+    tr = active(tracer)
     if old_max > 0 and new_max >= (1.0 - min_gain) * old_max:
+        if tr is not None:
+            tr.point(
+                EV_REPARTITION_DECISION,
+                ts=0.0,
+                accepted=False,
+                moved=0,
+                overhead=float(allreduce),
+                old_max_load=old_max,
+                new_max_load=new_max,
+            )
+            tr.metrics.counter("repartitions_declined").inc()
         return RepartitionResult(
             assignment=dict(old_assignment),
             moved_regions=0,
@@ -108,6 +127,18 @@ def repartition(
     migration = max_payload * topology.bandwidth_cost + (
         topology.latency_remote if moved else 0.0
     )
+    if tr is not None:
+        tr.point(
+            EV_REPARTITION_DECISION,
+            ts=0.0,
+            accepted=True,
+            moved=moved,
+            overhead=float(allreduce + migration),
+            old_max_load=old_max,
+            new_max_load=new_max,
+        )
+        tr.metrics.counter("repartitions_accepted").inc()
+        tr.metrics.counter("regions_migrated").inc(moved)
     return RepartitionResult(
         assignment=new_assignment,
         moved_regions=moved,

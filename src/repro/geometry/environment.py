@@ -14,7 +14,7 @@ the bridge between "real planner work" and "virtual machine time".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

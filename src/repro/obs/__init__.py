@@ -1,0 +1,85 @@
+"""repro.obs — structured tracing and metrics for the runtime.
+
+The observability substrate every figure and perf report builds on:
+
+* :class:`Tracer` emits typed :class:`Event` records — spans for the
+  planner phases, points for steal protocol traffic, task execution and
+  repartition decisions — stamped by the simulator's virtual clock or the
+  wall clock.
+* :class:`MetricRegistry` tallies counters/gauges/histograms alongside
+  the event stream (steals attempted/succeeded, tasks migrated, remote
+  accesses, per-PE busy/idle time).
+* Sinks route events to memory (:class:`MemorySink`) or JSON-lines files
+  (:class:`JsonlSink`); :func:`summarize_events` reconstructs the paper's
+  Fig. 7a phase breakdown and Fig. 9 steal distribution from a trace, and
+  ``python -m repro.obs summarize trace.jsonl`` does so from the shell.
+
+Instrumented code treats ``tracer=None`` (or :data:`NULL_TRACER`) as
+"emit nothing", keeping the default path at zero overhead.
+"""
+
+from .events import (
+    EV_REMOTE_ACCESS,
+    EV_REPARTITION_DECISION,
+    EV_STEAL_FAIL,
+    EV_STEAL_REPLY,
+    EV_STEAL_REQUEST,
+    EV_STEAL_TRANSFER,
+    EV_TASK_END,
+    EV_TASK_START,
+    PHASE_CONNECT,
+    PHASE_CONSTRUCT,
+    PHASE_GENERATE,
+    PHASE_NAMES,
+    PHASE_REPARTITION,
+    PHASE_SUBDIVIDE,
+    PHASE_TERMINATE,
+    PHASE_WEIGH,
+    POINT,
+    SPAN_BEGIN,
+    SPAN_END,
+    Event,
+)
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .sinks import JsonlSink, MemorySink, Sink, parse_jsonl, read_jsonl
+from .summary import TraceSummary, format_summary, summarize_events
+from .tracer import NULL_TRACER, NullTracer, Tracer, active
+
+__all__ = [
+    "Event",
+    "SPAN_BEGIN",
+    "SPAN_END",
+    "POINT",
+    "PHASE_SUBDIVIDE",
+    "PHASE_GENERATE",
+    "PHASE_WEIGH",
+    "PHASE_REPARTITION",
+    "PHASE_CONSTRUCT",
+    "PHASE_CONNECT",
+    "PHASE_TERMINATE",
+    "PHASE_NAMES",
+    "EV_TASK_START",
+    "EV_TASK_END",
+    "EV_STEAL_REQUEST",
+    "EV_STEAL_REPLY",
+    "EV_STEAL_TRANSFER",
+    "EV_STEAL_FAIL",
+    "EV_REPARTITION_DECISION",
+    "EV_REMOTE_ACCESS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "parse_jsonl",
+    "TraceSummary",
+    "summarize_events",
+    "format_summary",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "active",
+]

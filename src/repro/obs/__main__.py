@@ -1,0 +1,50 @@
+"""Command-line trace tooling.
+
+Usage::
+
+    python -m repro.obs summarize trace.jsonl   # phase + steal report
+    python -m repro.obs events trace.jsonl      # dump decoded events
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .sinks import read_jsonl
+from .summary import format_summary, summarize_events
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) < 1 or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    command, *rest = argv
+    if command not in ("summarize", "events"):
+        print(f"unknown command {command!r}; try 'summarize' or 'events'", file=sys.stderr)
+        return 2
+    if len(rest) != 1:
+        print(f"usage: python -m repro.obs {command} TRACE.jsonl", file=sys.stderr)
+        return 2
+    try:
+        events = read_jsonl(rest[0])
+    except (OSError, ValueError) as exc:
+        print(f"error reading trace: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if command == "events":
+            for ev in events:
+                pe = "" if ev.pe is None else f" pe={ev.pe}"
+                attrs = f" {dict(ev.attrs)}" if ev.attrs else ""
+                print(f"{ev.ts:12.4f} {ev.kind:10s} {ev.name}{pe}{attrs}")
+        else:
+            print(format_summary(summarize_events(events)))
+    except ValueError as exc:  # malformed trace semantics, e.g. unclosed span
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,113 @@
+"""Typed trace events.
+
+A trace is a flat stream of :class:`Event` records.  Spans (phases with a
+duration) are encoded as a ``span_begin`` / ``span_end`` pair sharing a
+name; everything else is a ``point`` event.  Timestamps come from whatever
+clock the emitting :class:`~repro.obs.tracer.Tracer` was built with — the
+simulator's virtual clock for replayed machines, ``time.perf_counter``
+for true-parallel runs — so one summariser serves both worlds.
+
+Canonical names are defined here so emitters and the summariser never
+drift: the phase vocabulary (``subdivide`` … ``connect``) is shared by the
+PRM and RRT drivers (see ``PhaseBreakdown`` in :mod:`repro.core.metrics`),
+and the point vocabulary covers the work-stealing protocol, task
+execution, and repartition decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "Event",
+    "SPAN_BEGIN",
+    "SPAN_END",
+    "POINT",
+    "PHASE_SUBDIVIDE",
+    "PHASE_GENERATE",
+    "PHASE_WEIGH",
+    "PHASE_REPARTITION",
+    "PHASE_CONSTRUCT",
+    "PHASE_CONNECT",
+    "PHASE_TERMINATE",
+    "PHASE_NAMES",
+    "EV_TASK_START",
+    "EV_TASK_END",
+    "EV_STEAL_REQUEST",
+    "EV_STEAL_REPLY",
+    "EV_STEAL_TRANSFER",
+    "EV_STEAL_FAIL",
+    "EV_REPARTITION_DECISION",
+    "EV_REMOTE_ACCESS",
+]
+
+# -- event kinds -------------------------------------------------------------
+SPAN_BEGIN = "span_begin"
+SPAN_END = "span_end"
+POINT = "point"
+
+# -- canonical phase (span) names -------------------------------------------
+PHASE_SUBDIVIDE = "subdivide"        # region construction
+PHASE_GENERATE = "generate"          # PRM node generation
+PHASE_WEIGH = "weigh"                # LB weight probe (k-rays etc.)
+PHASE_REPARTITION = "repartition"    # installing the new partition
+PHASE_CONSTRUCT = "construct"        # the load-balanced bulk phase
+PHASE_CONNECT = "connect"            # inter-region connection
+PHASE_TERMINATE = "terminate"        # termination detection
+
+#: Every phase, in canonical timeline order.
+PHASE_NAMES = (
+    PHASE_SUBDIVIDE,
+    PHASE_GENERATE,
+    PHASE_WEIGH,
+    PHASE_REPARTITION,
+    PHASE_CONSTRUCT,
+    PHASE_TERMINATE,
+    PHASE_CONNECT,
+)
+
+# -- canonical point names ---------------------------------------------------
+EV_TASK_START = "task_start"
+EV_TASK_END = "task_end"
+EV_STEAL_REQUEST = "steal_request"    # thief -> victim request sent
+EV_STEAL_REPLY = "steal_reply"        # thief received a reply
+EV_STEAL_TRANSFER = "steal_transfer"  # victim handed tasks over
+EV_STEAL_FAIL = "steal_fail"          # victim had nothing to give
+EV_REPARTITION_DECISION = "repartition_decision"
+EV_REMOTE_ACCESS = "remote_access"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One trace record.
+
+    ``ts`` is in the emitting tracer's clock domain (virtual seconds for
+    simulated runs, wall seconds for real ones).  ``pe`` is the processing
+    element the event belongs to, when there is one.  ``attrs`` carries
+    event-specific payload and must stay JSON-serialisable.
+    """
+
+    ts: float
+    kind: str
+    name: str
+    pe: "int | None" = None
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> "dict[str, Any]":
+        d: "dict[str, Any]" = {"ts": self.ts, "kind": self.kind, "name": self.name}
+        if self.pe is not None:
+            d["pe"] = self.pe
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d
+
+    @classmethod
+    def from_json(cls, d: "Mapping[str, Any]") -> "Event":
+        return cls(
+            ts=float(d["ts"]),
+            kind=str(d["kind"]),
+            name=str(d["name"]),
+            pe=d.get("pe"),
+            attrs=dict(d.get("attrs", {})),
+        )

@@ -1,0 +1,133 @@
+"""Counters, gauges and histograms for runtime telemetry.
+
+A :class:`MetricRegistry` is a flat namespace of named instruments.  The
+simulator and drivers record steal/migration/remote-access tallies and
+per-PE busy/idle time here; benches and the ``plan()`` facade read them
+back through :meth:`MetricRegistry.as_dict`.
+
+Instruments are deliberately simple (no label sets, no time windows):
+every run gets a fresh registry, so values are per-run totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing tally."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution; keeps raw observations for exact quantiles.
+
+    Per-run observation counts here are small (one per PE or per task), so
+    storing the samples beats maintaining approximate sketches.
+    """
+
+    name: str
+    values: "list[float]" = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank, ``0 <= q <= 100``)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        idx = min(int(q / 100.0 * (len(ordered) - 1) + 0.5), len(ordered) - 1)
+        return ordered[idx]
+
+
+class MetricRegistry:
+    """Flat, create-on-first-use namespace of instruments."""
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def as_dict(self) -> "dict[str, object]":
+        """Snapshot: counters/gauges as numbers, histograms as summaries."""
+        out: "dict[str, object]" = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            out[name] = {
+                "count": h.count,
+                "sum": h.sum,
+                "mean": h.mean,
+                "min": h.min,
+                "max": h.max,
+            }
+        return out

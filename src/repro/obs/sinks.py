@@ -1,0 +1,98 @@
+"""Trace sinks: where emitted events go.
+
+Two sinks cover the repo's needs: :class:`MemorySink` (a bounded ring
+buffer for tests and interactive inspection) and :class:`JsonlSink` (one
+JSON object per line, the interchange format of the ``python -m repro.obs
+summarize`` CLI).  Sinks are deliberately dumb — ordering, pairing of
+span begin/end, and aggregation all live in :mod:`repro.obs.summary`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, Protocol, runtime_checkable
+
+from .events import Event
+
+__all__ = ["Sink", "MemorySink", "JsonlSink", "read_jsonl", "parse_jsonl"]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    def emit(self, event: Event) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemorySink:
+    """Keep the last ``capacity`` events in memory (all of them if None)."""
+
+    def __init__(self, capacity: "int | None" = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._buf: "deque[Event]" = deque(maxlen=capacity)
+
+    @property
+    def events(self) -> "list[Event]":
+        return list(self._buf)
+
+    def emit(self, event: Event) -> None:
+        self._buf.append(event)
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JsonlSink:
+    """Append events to a JSON-lines file (or any open text handle)."""
+
+    def __init__(self, path_or_file: "str | Path | IO[str]"):
+        if hasattr(path_or_file, "write"):
+            self._fh: IO[str] = path_or_file  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, event: Event) -> None:
+        self._fh.write(json.dumps(event.to_json(), separators=(",", ":")))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parse_jsonl(lines: "Iterable[str]") -> "list[Event]":
+    """Decode an iterable of JSON lines into events (blank lines skipped)."""
+    events = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(Event.from_json(json.loads(line)))
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"bad trace record on line {lineno}: {exc}") from exc
+    return events
+
+
+def read_jsonl(path: "str | Path") -> "list[Event]":
+    """Load a JSON-lines trace file written by :class:`JsonlSink`."""
+    with open(path, encoding="utf-8") as fh:
+        return parse_jsonl(fh)

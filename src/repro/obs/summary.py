@@ -1,0 +1,181 @@
+"""Reconstruct run statistics from a trace.
+
+This is the proof that the trace is complete: everything the paper's
+figures need — the Fig. 7a per-phase breakdown, the Fig. 9 stolen vs.
+local task distribution, steal/migration tallies, per-PE busy time — is
+recomputed here from events alone, with no access to the run objects.
+The test suite asserts the reconstruction matches ``SimResult`` /
+``PhaseTimes`` field-for-field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import (
+    EV_REMOTE_ACCESS,
+    EV_REPARTITION_DECISION,
+    EV_STEAL_FAIL,
+    EV_STEAL_REPLY,
+    EV_STEAL_REQUEST,
+    EV_STEAL_TRANSFER,
+    EV_TASK_END,
+    EV_TASK_START,
+    PHASE_NAMES,
+    SPAN_BEGIN,
+    SPAN_END,
+    Event,
+)
+
+__all__ = ["TraceSummary", "summarize_events", "format_summary"]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates recomputed purely from a trace."""
+
+    #: span name -> total duration (sum over begin/end pairs).
+    phases: "dict[str, float]" = field(default_factory=dict)
+    num_events: int = 0
+    #: highest timestamp seen.
+    end_time: float = 0.0
+    # -- task execution ----------------------------------------------------
+    tasks_executed: int = 0
+    per_pe_tasks: "dict[int, int]" = field(default_factory=dict)
+    per_pe_stolen_tasks: "dict[int, int]" = field(default_factory=dict)
+    #: per-PE sum of executed task costs (busy time).
+    per_pe_busy: "dict[int, float]" = field(default_factory=dict)
+    # -- work stealing -----------------------------------------------------
+    steal_requests: int = 0
+    steal_transfers: int = 0
+    steal_fails: int = 0
+    tasks_migrated: int = 0
+    per_pe_steal_requests: "dict[int, int]" = field(default_factory=dict)
+    # -- other point events ------------------------------------------------
+    remote_accesses: int = 0
+    repartition_decisions: "list[dict]" = field(default_factory=list)
+
+    @property
+    def total_phase_time(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def total_busy(self) -> float:
+        return sum(self.per_pe_busy.values())
+
+    def stolen_fraction(self) -> float:
+        """Fraction of executed tasks that were stolen (Fig. 9 headline)."""
+        stolen = sum(self.per_pe_stolen_tasks.values())
+        return stolen / self.tasks_executed if self.tasks_executed else 0.0
+
+
+def summarize_events(events: "list[Event]") -> TraceSummary:
+    """Aggregate a trace; events may arrive in any order (sorted by ts)."""
+    s = TraceSummary()
+    s.num_events = len(events)
+    # Stable sort by timestamp: emission order breaks ties, which is what
+    # makes span pairing under the simulator's deterministic clock exact.
+    open_spans: "dict[str, list[float]]" = {}
+    for ev in sorted(events, key=lambda e: e.ts):
+        s.end_time = max(s.end_time, ev.ts)
+        if ev.kind == SPAN_BEGIN:
+            open_spans.setdefault(ev.name, []).append(ev.ts)
+        elif ev.kind == SPAN_END:
+            stack = open_spans.get(ev.name)
+            if not stack:
+                raise ValueError(f"span_end without begin for {ev.name!r}")
+            begin = stack.pop()
+            s.phases[ev.name] = s.phases.get(ev.name, 0.0) + (ev.ts - begin)
+        elif ev.name == EV_TASK_START:
+            pass  # counted at task_end so half-open traces stay consistent
+        elif ev.name == EV_TASK_END:
+            s.tasks_executed += 1
+            pe = ev.pe if ev.pe is not None else -1
+            s.per_pe_tasks[pe] = s.per_pe_tasks.get(pe, 0) + 1
+            s.per_pe_busy[pe] = s.per_pe_busy.get(pe, 0.0) + float(
+                ev.attrs.get("cost", 0.0)
+            )
+            if ev.attrs.get("stolen"):
+                s.per_pe_stolen_tasks[pe] = s.per_pe_stolen_tasks.get(pe, 0) + 1
+        elif ev.name == EV_STEAL_REQUEST:
+            s.steal_requests += 1
+            pe = ev.pe if ev.pe is not None else -1
+            s.per_pe_steal_requests[pe] = s.per_pe_steal_requests.get(pe, 0) + 1
+        elif ev.name == EV_STEAL_TRANSFER:
+            s.steal_transfers += 1
+            s.tasks_migrated += int(ev.attrs.get("tasks", 0))
+        elif ev.name == EV_STEAL_FAIL:
+            s.steal_fails += 1
+        elif ev.name == EV_STEAL_REPLY:
+            pass  # request/transfer/fail already carry the tallies
+        elif ev.name == EV_REMOTE_ACCESS:
+            s.remote_accesses += int(ev.attrs.get("count", 1))
+        elif ev.name == EV_REPARTITION_DECISION:
+            s.repartition_decisions.append(dict(ev.attrs))
+    dangling = [name for name, stack in open_spans.items() if stack]
+    if dangling:
+        raise ValueError(f"unclosed span(s) in trace: {sorted(dangling)}")
+    return s
+
+
+def _percentile_rows(by_pe: "dict[int, int]", totals: "dict[int, int]") -> "list[list[str]]":
+    """Fig. 9-style rows: stolen vs non-stolen at percentiles of stolen count."""
+    pes = sorted(totals)
+    if not pes:
+        return []
+    order = sorted(pes, key=lambda p: -by_pe.get(p, 0))
+    rows = []
+    for q in (0, 25, 50, 75, 100):
+        i = min(int(q / 100 * (len(order) - 1)), len(order) - 1)
+        pe = order[i]
+        stolen = by_pe.get(pe, 0)
+        rows.append([f"p{q}", str(stolen), str(totals[pe] - stolen)])
+    return rows
+
+
+def format_summary(s: TraceSummary) -> str:
+    """Human-readable report: Fig. 7a phase table + Fig. 9 steal profile."""
+    from ..bench.harness import format_table
+
+    lines = [
+        f"trace: {s.num_events} events, end time {s.end_time:.2f}",
+        "",
+        "Phase breakdown (Fig. 7a)",
+    ]
+    known = [p for p in PHASE_NAMES if p in s.phases]
+    extra = sorted(set(s.phases) - set(known))
+    rows = [[p, f"{s.phases[p]:.2f}"] for p in known + extra]
+    rows.append(["total", f"{s.total_phase_time:.2f}"])
+    lines.append(format_table(["phase", "time"], rows))
+
+    lines += [
+        "",
+        "Work stealing",
+        format_table(
+            ["requests", "transfers", "fails", "tasks migrated"],
+            [[s.steal_requests, s.steal_transfers, s.steal_fails, s.tasks_migrated]],
+        ),
+    ]
+    if s.tasks_executed:
+        lines += [
+            "",
+            f"Tasks: {s.tasks_executed} executed on {len(s.per_pe_tasks)} PEs; "
+            f"{s.stolen_fraction():.0%} stolen",
+        ]
+        steal_rows = _percentile_rows(s.per_pe_stolen_tasks, s.per_pe_tasks)
+        if steal_rows:
+            lines += [
+                "",
+                "Steal distribution (Fig. 9, percentiles by stolen count)",
+                format_table(["percentile", "stolen", "non-stolen"], steal_rows),
+            ]
+    if s.remote_accesses:
+        lines.append(f"\nRemote accesses: {s.remote_accesses}")
+    for d in s.repartition_decisions:
+        moved = d.get("moved", 0)
+        lines.append(
+            f"\nRepartition: moved {moved} regions, "
+            f"overhead {d.get('overhead', 0.0):.2f} "
+            f"({'accepted' if d.get('accepted') else 'declined'})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""The Tracer: structured event emission plus a metric registry.
+
+One tracer serves both execution worlds:
+
+* **Virtual time** — the simulator and the parallel drivers pass explicit
+  ``ts`` values from the replayed machine's clock.  Nested components run
+  on phase-local clocks, so a driver hands them ``tracer.offset(t0)``,
+  a view of the same tracer that shifts every timestamp by ``t0``.
+* **Wall clock** — when ``ts`` is omitted the tracer stamps events with
+  its ``clock`` (default ``time.perf_counter`` relative to creation), and
+  ``with tracer.span("connect"):`` times real code.
+
+Instrumented code takes ``tracer: Tracer | None = None`` and guards every
+emission with ``if tracer is not None`` (after normalising through
+:func:`active`), so the default path adds a single predictable branch —
+that is the "null tracer keeps zero overhead" contract.  The explicit
+:data:`NULL_TRACER` exists for APIs that want a non-None default; it
+normalises to ``None`` at instrumentation boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+from .events import POINT, SPAN_BEGIN, SPAN_END, Event
+from .metrics import MetricRegistry
+from .sinks import MemorySink, Sink
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "active"]
+
+
+class Tracer:
+    """Emit typed events to one or more sinks and tally metrics.
+
+    Parameters
+    ----------
+    sinks:
+        Destinations for events; defaults to a single in-memory sink
+        (reachable as ``tracer.memory``).
+    clock:
+        Zero-argument callable giving the default timestamp; defaults to
+        seconds since tracer creation (``perf_counter`` based).
+    metrics:
+        Registry to tally into; a fresh one is created if omitted.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: "Iterable[Sink] | None" = None,
+        clock: "Callable[[], float] | None" = None,
+        metrics: "MetricRegistry | None" = None,
+    ):
+        if sinks is None:
+            self.memory: "MemorySink | None" = MemorySink()
+            self.sinks: "list[Sink]" = [self.memory]
+        else:
+            self.sinks = list(sinks)
+            self.memory = next(
+                (s for s in self.sinks if isinstance(s, MemorySink)), None
+            )
+        if clock is None:
+            t0 = time.perf_counter()
+            clock = lambda: time.perf_counter() - t0  # noqa: E731
+        self.clock = clock
+        self.metrics = metrics or MetricRegistry()
+
+    # -- emission -----------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        ts: "float | None" = None,
+        pe: "int | None" = None,
+        **attrs,
+    ) -> Event:
+        event = Event(
+            ts=self.clock() if ts is None else float(ts),
+            kind=kind,
+            name=name,
+            pe=pe,
+            attrs=attrs,
+        )
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    def point(
+        self, name: str, ts: "float | None" = None, pe: "int | None" = None, **attrs
+    ) -> Event:
+        return self.emit(POINT, name, ts=ts, pe=pe, **attrs)
+
+    def begin(
+        self, name: str, ts: "float | None" = None, pe: "int | None" = None, **attrs
+    ) -> Event:
+        return self.emit(SPAN_BEGIN, name, ts=ts, pe=pe, **attrs)
+
+    def end(
+        self, name: str, ts: "float | None" = None, pe: "int | None" = None, **attrs
+    ) -> Event:
+        return self.emit(SPAN_END, name, ts=ts, pe=pe, **attrs)
+
+    def span_at(
+        self, name: str, begin: float, end: float, pe: "int | None" = None, **attrs
+    ) -> None:
+        """Emit a completed span with explicit (virtual) endpoints."""
+        if end < begin:
+            raise ValueError(f"span {name!r} ends before it begins")
+        self.begin(name, ts=begin, pe=pe, **attrs)
+        self.end(name, ts=end, pe=pe, **attrs)
+
+    @contextmanager
+    def span(self, name: str, pe: "int | None" = None, **attrs) -> Iterator[None]:
+        """Wall-clock span around a code block."""
+        self.begin(name, pe=pe, **attrs)
+        try:
+            yield
+        finally:
+            self.end(name, pe=pe, **attrs)
+
+    # -- composition --------------------------------------------------------
+    def offset(self, dt: float) -> "Tracer":
+        """A view of this tracer shifting every timestamp by ``dt``.
+
+        Sinks and metrics are shared; only the clock domain changes.  Used
+        to embed a component running on a phase-local clock (the simulator
+        starts every phase at t=0) into the run's global timeline.
+        """
+        if dt == 0.0:
+            return self
+        return _OffsetTracer(self, dt)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _OffsetTracer(Tracer):
+    """Shares a parent tracer's sinks/metrics, shifting timestamps."""
+
+    def __init__(self, parent: Tracer, dt: float):
+        self._parent = parent
+        self._dt = float(dt)
+        self.sinks = parent.sinks
+        self.memory = parent.memory
+        self.metrics = parent.metrics
+        self.clock = lambda: parent.clock() + self._dt
+
+    def emit(self, kind, name, ts=None, pe=None, **attrs) -> Event:
+        shifted = None if ts is None else float(ts) + self._dt
+        return self._parent.emit(kind, name, ts=shifted, pe=pe, **attrs)
+
+    def offset(self, dt: float) -> Tracer:
+        return self._parent.offset(self._dt + dt)
+
+    def close(self) -> None:  # the parent owns the sinks
+        pass
+
+
+class NullTracer(Tracer):
+    """Accepts the full Tracer API and does nothing.
+
+    Instrumented code normalises it to ``None`` via :func:`active`, so no
+    per-event work happens at all on the default path.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(sinks=[], clock=lambda: 0.0)
+        self.memory = None
+
+    def emit(self, kind, name, ts=None, pe=None, **attrs) -> Event:
+        return Event(ts=0.0, kind=kind, name=name, pe=pe, attrs=attrs)
+
+    def offset(self, dt: float) -> "NullTracer":
+        return self
+
+
+#: Shared do-nothing tracer for APIs wanting a non-None default.
+NULL_TRACER = NullTracer()
+
+
+def active(tracer: "Tracer | None") -> "Tracer | None":
+    """Normalise a tracer argument: disabled/null tracers become ``None``."""
+    if tracer is None or not tracer.enabled:
+        return None
+    return tracer

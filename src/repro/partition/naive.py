@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..subdivision.region import RegionGraph
-from ..subdivision.uniform import BoxRegion, UniformSubdivision
+from ..subdivision.uniform import UniformSubdivision
 
 __all__ = ["partition_1d_columns", "partition_block"]
 

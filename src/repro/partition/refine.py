@@ -9,7 +9,6 @@ of RCB's locality while keeping LPT's balance.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..subdivision.region import RegionGraph
 from .edge_cut import loads_of

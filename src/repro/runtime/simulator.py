@@ -29,12 +29,24 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
+from ..obs.events import (
+    EV_STEAL_FAIL,
+    EV_STEAL_REPLY,
+    EV_STEAL_REQUEST,
+    EV_STEAL_TRANSFER,
+    EV_TASK_END,
+    EV_TASK_START,
+)
+from ..obs.tracer import active
 from .stats import PEStats, SimResult
 from .topology import ClusterTopology
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = ["StealPolicy", "WorkStealingSimulator", "run_static_phase"]
 
@@ -96,6 +108,13 @@ class WorkStealingSimulator:
         (an RDMA-style communication thread).  The default (False) is the
         non-preemptive model: a busy victim replies only between tasks,
         which is how a single-threaded SPMD runtime behaves.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Emits ``task_start`` /
+        ``task_end`` and the steal protocol (``steal_request`` /
+        ``steal_transfer`` / ``steal_fail`` / ``steal_reply``) as point
+        events stamped with the simulator's virtual clock, and tallies
+        steal/migration counters plus per-PE busy/idle histograms.  The
+        default ``None`` emits nothing (zero overhead).
     """
 
     def __init__(
@@ -110,6 +129,7 @@ class WorkStealingSimulator:
         max_idle_rounds: int = 6,
         offload_service: bool = False,
         rng: np.random.Generator | None = None,
+        tracer: "Tracer | None" = None,
     ):
         if isinstance(steal_chunk, int) and steal_chunk < 1:
             raise ValueError("integer steal_chunk must be >= 1")
@@ -125,6 +145,8 @@ class WorkStealingSimulator:
         self.max_idle_rounds = max_idle_rounds
         self.offload_service = offload_service
         self.rng = rng or np.random.default_rng(0)
+        #: normalised once: ``None`` means every emission site is one branch.
+        self._tr = active(tracer)
 
     # -- public API ---------------------------------------------------------
     def run(self, assignment: "dict[int, int]") -> SimResult:
@@ -164,6 +186,8 @@ class WorkStealingSimulator:
             self._end_time = max(self._end_time, ev.time)
             getattr(self, f"_on_{ev.kind}")(ev)
 
+        if self._tr is not None:
+            self._record_metrics()
         return SimResult(
             pe_stats=self._stats,
             executed_by=self._executed_by,
@@ -174,6 +198,20 @@ class WorkStealingSimulator:
         )
 
     # -- internals ---------------------------------------------------------
+    def _record_metrics(self) -> None:
+        m = self._tr.metrics
+        m.counter("steals_attempted").inc(
+            sum(s.steal_requests_sent for s in self._stats)
+        )
+        m.counter("steals_succeeded").inc(sum(s.steals_serviced for s in self._stats))
+        m.counter("steals_failed").inc(sum(s.steals_failed for s in self._stats))
+        m.counter("tasks_migrated").inc(sum(s.tasks_lost for s in self._stats))
+        busy = m.histogram("pe_busy_time")
+        idle = m.histogram("pe_idle_time")
+        for s in self._stats:
+            busy.observe(s.work_time)
+            idle.observe(max(self._makespan - s.work_time, 0.0))
+
     def _push_event(self, time: float, kind: str, pe: int, payload: object = None) -> None:
         self._seq += 1
         heapq.heappush(self._events, _Event(time, self._seq, kind, pe, payload))
@@ -197,6 +235,15 @@ class WorkStealingSimulator:
             if task in self._stolen_marks:
                 st.tasks_stolen_executed += 1
             self._clock[pe] = now + cost
+            if self._tr is not None:
+                self._tr.point(
+                    EV_TASK_START,
+                    ts=now,
+                    pe=pe,
+                    task=task,
+                    cost=cost,
+                    stolen=task in self._stolen_marks,
+                )
             self._push_event(now + cost, "task_done", pe, payload=task)
             return
         if self.steal_policy is not None and self._remaining > 0 and self._pending_replies[pe] == 0:
@@ -209,6 +256,16 @@ class WorkStealingSimulator:
         self._remaining -= 1
         self._makespan = max(self._makespan, ev.time)
         self._stats[pe].finish_time = ev.time
+        if self._tr is not None:
+            task = ev.payload
+            self._tr.point(
+                EV_TASK_END,
+                ts=ev.time,
+                pe=pe,
+                task=task,
+                cost=self._task_costs[task],
+                stolen=task in self._stolen_marks,
+            )
         # Non-preemptive service: reply to thieves that knocked while we
         # were executing, before picking up the next task.
         while self._queued_requests[pe]:
@@ -231,6 +288,8 @@ class WorkStealingSimulator:
             st.steal_requests_sent += 1
             st.messages_sent += 1
             self._messages += 1
+            if self._tr is not None:
+                self._tr.point(EV_STEAL_REQUEST, ts=now, pe=pe, victim=v)
             self._push_event(
                 now + self.topology.latency(pe, v), "steal_request", v, payload=pe
             )
@@ -257,12 +316,18 @@ class WorkStealingSimulator:
             vst.tasks_lost += n
             vst.messages_sent += 1
             self._messages += 1
+            if self._tr is not None:
+                self._tr.point(
+                    EV_STEAL_TRANSFER, ts=now, pe=victim, thief=thief, tasks=n
+                )
             delay = self.topology.latency(victim, thief, payload=n) + self.transfer_cost * n
             self._push_event(now + delay, "steal_reply", thief, payload=tasks)
         else:
             vst.steals_failed += 1
             vst.messages_sent += 1
             self._messages += 1
+            if self._tr is not None:
+                self._tr.point(EV_STEAL_FAIL, ts=now, pe=victim, thief=thief)
             self._push_event(
                 now + self.topology.latency(victim, thief), "steal_reply", thief, payload=[]
             )
@@ -272,6 +337,8 @@ class WorkStealingSimulator:
         tasks: "list[int]" = ev.payload
         now = ev.time
         self._pending_replies[thief] -= 1
+        if self._tr is not None:
+            self._tr.point(EV_STEAL_REPLY, ts=now, pe=thief, tasks=len(tasks))
         if tasks:
             self._round_found[thief] = True
             self._idle_rounds[thief] = 0
@@ -303,7 +370,8 @@ def run_static_phase(
     topology: ClusterTopology,
     executor: Callable[[int, int], float],
     assignment: "dict[int, int]",
+    tracer: "Tracer | None" = None,
 ) -> SimResult:
     """Execute a phase with no load balancing (the paper's baseline)."""
-    sim = WorkStealingSimulator(topology, executor, steal_policy=None)
+    sim = WorkStealingSimulator(topology, executor, steal_policy=None, tracer=tracer)
     return sim.run(assignment)

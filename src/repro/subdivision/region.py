@@ -10,7 +10,7 @@ distribution that the load balancing techniques manipulate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

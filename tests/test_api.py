@@ -1,0 +1,220 @@
+"""Tests for the plan() facade (repro.api) and the unified result protocol."""
+
+import pytest
+
+from repro import JsonlSink, MemorySink, PlanRequest, Tracer, plan, read_jsonl
+from repro.core import (
+    PhaseBreakdown,
+    PlannerRunResult,
+    build_prm_workload,
+    build_rrt_workload,
+    phases_dict,
+    simulate_prm,
+    simulate_rrt,
+)
+from repro.obs import summarize_events
+
+
+class TestPlanRequestValidation:
+    def test_defaults_valid(self):
+        PlanRequest().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"planner": "astar"},
+            {"execution": "cloud"},
+            {"strategy": "telepathy"},
+            {"num_regions": 0},
+            {"num_pes": 0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            PlanRequest(**kwargs).validate()
+
+    def test_unknown_partitioner_fails_at_plan_time(self):
+        req = PlanRequest(num_regions=32, num_pes=4, partitioner="magic")
+        with pytest.raises(ValueError, match="partitioner"):
+            plan(req)
+
+
+class TestPlanParity:
+    """plan() must be a pure facade: same seed => identical results to the
+    legacy build_*_workload + simulate_* chain."""
+
+    def test_prm_matches_legacy_chain(self):
+        req = PlanRequest(
+            environment="med-cube",
+            planner="prm",
+            num_regions=64,
+            samples_per_region=4,
+            strategy="hybrid",
+            num_pes=8,
+            seed=3,
+        )
+        report = plan(req)
+
+        workload = build_prm_workload(
+            req.resolve_cspace(),
+            num_regions=64,
+            samples_per_region=4,
+            seed=3,
+        )
+        legacy = simulate_prm(workload, 8, "hybrid")
+
+        assert report.roadmap.num_vertices == workload.roadmap.num_vertices
+        assert report.roadmap.num_edges == workload.roadmap.num_edges
+        assert report.total_time == pytest.approx(legacy.total_time)
+        assert phases_dict(report.phases) == pytest.approx(phases_dict(legacy.phases))
+
+    def test_rrt_matches_legacy_chain(self):
+        req = PlanRequest(
+            environment="med-cube",
+            planner="rrt",
+            num_regions=24,
+            nodes_per_region=6,
+            strategy="rand-8",
+            num_pes=8,
+            seed=5,
+        )
+        report = plan(req)
+
+        from repro.api import _default_root
+
+        cspace = req.resolve_cspace()
+        workload = build_rrt_workload(
+            cspace, _default_root(cspace, 5), num_regions=24, nodes_per_region=6, seed=5
+        )
+        legacy = simulate_rrt(workload, 8, "rand-8")
+
+        assert report.roadmap.num_vertices == workload.roadmap.num_vertices
+        assert report.total_time == pytest.approx(legacy.total_time)
+        assert phases_dict(report.phases) == pytest.approx(phases_dict(legacy.phases))
+
+    def test_partitioner_changes_distribution(self):
+        base = dict(num_regions=64, samples_per_region=4, strategy="none",
+                    num_pes=8, seed=3)
+        block = plan(PlanRequest(partitioner="block", **base))
+        greedy = plan(PlanRequest(partitioner="greedy", **base))
+        # Same measured workload either way...
+        assert block.roadmap.num_vertices == greedy.roadmap.num_vertices
+        # ...but a different region->PE distribution actually took effect.
+        assert [p.work_time for p in greedy.sim.pe_stats] != [
+            p.work_time for p in block.sim.pe_stats
+        ]
+
+
+class TestPlanTracing:
+    def test_trace_reconstructs_result_exactly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sinks=[MemorySink(), JsonlSink(path)])
+        report = plan(
+            PlanRequest(
+                num_regions=64,
+                samples_per_region=4,
+                strategy="rand-8",
+                num_pes=8,
+                seed=3,
+                tracer=tracer,
+            )
+        )
+        tracer.close()
+
+        summary = summarize_events(read_jsonl(path))
+        # Phase spans reproduce the PhaseTimes fields exactly (Fig. 7a).
+        assert summary.phases == pytest.approx(phases_dict(report.phases))
+        # Steal protocol counts reproduce the SimResult totals (Fig. 9).
+        sim = report.sim
+        assert summary.steal_requests == sum(p.steal_requests_sent for p in sim.pe_stats)
+        assert summary.steal_transfers == sum(p.steals_serviced for p in sim.pe_stats)
+        assert summary.tasks_migrated == sum(p.tasks_lost for p in sim.pe_stats)
+        assert summary.tasks_executed == sum(p.tasks_executed for p in sim.pe_stats)
+        # Disk and memory sinks saw the same stream.
+        assert summary == report.trace_summary()
+
+    def test_traced_and_untraced_agree(self):
+        base = dict(num_regions=64, samples_per_region=4, strategy="hybrid",
+                    num_pes=8, seed=3)
+        plain = plan(PlanRequest(**base))
+        traced = plan(PlanRequest(tracer=Tracer(), **base))
+        assert plain.total_time == pytest.approx(traced.total_time)
+
+    def test_metrics_property(self):
+        tracer = Tracer()
+        report = plan(
+            PlanRequest(num_regions=32, samples_per_region=4, strategy="rand-8",
+                        num_pes=8, seed=1, tracer=tracer)
+        )
+        metrics = report.metrics
+        assert metrics is not None
+        assert metrics["steals_attempted"] == sum(
+            p.steal_requests_sent for p in report.sim.pe_stats
+        )
+        assert plan(PlanRequest(num_regions=8, num_pes=2)).metrics is None
+
+    def test_summary_renders(self):
+        tracer = Tracer()
+        report = plan(
+            PlanRequest(num_regions=32, samples_per_region=4, strategy="rand-8",
+                        num_pes=8, seed=1, tracer=tracer)
+        )
+        text = report.summary()
+        assert "PRM / rand-8 on 8 PEs" in text
+        assert "construct" in text
+
+
+class TestLocalExecution:
+    def test_prm_local(self):
+        report = plan(
+            PlanRequest(planner="prm", num_regions=8, samples_per_region=4,
+                        execution="local", workers=2, seed=2)
+        )
+        assert report.pool is not None and report.result is None
+        assert len(report.pool.results) == 8
+        assert report.roadmap.num_vertices > 0
+        assert report.total_time == report.pool.wall_time
+        assert report.phases is None and report.sim is None
+
+    def test_rrt_local(self):
+        report = plan(
+            PlanRequest(planner="rrt", num_regions=6, nodes_per_region=4,
+                        execution="local", workers=2, seed=2)
+        )
+        assert report.pool is not None
+        assert report.roadmap.num_vertices > 0
+        assert "slowest region" in report.summary()
+
+    def test_local_with_tracer(self):
+        tracer = Tracer()
+        report = plan(
+            PlanRequest(num_regions=6, samples_per_region=4, execution="local",
+                        workers=2, seed=2, tracer=tracer)
+        )
+        summary = report.trace_summary()
+        assert summary.tasks_executed == len(report.pool.results)
+
+
+class TestResultProtocols:
+    def test_run_results_satisfy_protocols(self):
+        prm = plan(PlanRequest(num_regions=32, samples_per_region=4,
+                               strategy="hybrid", num_pes=4, seed=1))
+        rrt = plan(PlanRequest(planner="rrt", num_regions=12, nodes_per_region=4,
+                               strategy="none", num_pes=4, seed=1))
+        for report in (prm, rrt):
+            assert isinstance(report.result, PlannerRunResult)
+            assert isinstance(report.phases, PhaseBreakdown)
+            pd = phases_dict(report.phases)
+            assert sum(pd.values()) == pytest.approx(report.phases.total)
+            assert report.result.sim is not None
+            assert report.result.loads is not None
+            assert report.result.total_time == report.total_time
+
+    def test_phase_vocabulary_is_shared(self):
+        prm = plan(PlanRequest(num_regions=32, samples_per_region=4, num_pes=4))
+        rrt = plan(PlanRequest(planner="rrt", num_regions=12, nodes_per_region=4,
+                               num_pes=4))
+        prm_names = [name for name, _ in prm.phases.phase_items()]
+        rrt_names = [name for name, _ in rrt.phases.phase_items()]
+        # RRT has no generate phase; otherwise the vocabulary is identical.
+        assert [n for n in prm_names if n != "generate"] == rrt_names

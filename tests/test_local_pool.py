@@ -24,6 +24,7 @@ class TestRunTasksParallel:
     def test_empty_task_list(self):
         res = run_tasks_parallel(_square, [], workers=2)
         assert res.results == {}
+        assert res.slowest_task() is None
 
     def test_window_bounds_inflight(self):
         res = run_tasks_parallel(_square, list(range(50)), workers=2, window=3)
@@ -53,3 +54,13 @@ class TestRunTasksParallel:
         task, duration = res.slowest_task()
         assert task in range(5)
         assert duration == max(res.per_task_time.values())
+
+    def test_tracer_sees_every_task(self):
+        from repro.obs import Tracer, summarize_events
+
+        tr = Tracer()
+        res = run_tasks_parallel(_square, list(range(12)), workers=3, tracer=tr)
+        summary = summarize_events(tr.memory.events)
+        assert summary.tasks_executed == len(res.results) == 12
+        assert tr.metrics.histogram("task_time").count == 12
+        assert tr.metrics.counter("pool_tasks").value == 12
