@@ -99,9 +99,11 @@ class PlanRequest:
     #: "simulate" replays on the virtual machine; "local" runs the
     #: regional planners on this machine's cores for real wall-clock.
     execution: str = "simulate"
-    #: local-execution pool size and backend.
+    #: local-execution pool size, backend, and tasks per submission
+    #: (chunksize > 1 amortises dispatch overhead for tiny regions).
     workers: int = 4
     backend: str = "thread"
+    chunksize: int = 1
     #: extra keyword arguments forwarded to ``build_*_workload``.
     workload_options: "dict" = field(default_factory=dict)
 
@@ -120,6 +122,8 @@ class PlanRequest:
             raise ValueError("num_regions must be >= 1")
         if self.num_pes < 1:
             raise ValueError("num_pes must be >= 1")
+        if self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
 
     def resolve_cspace(self) -> ConfigurationSpace:
         env = self.environment
@@ -354,6 +358,7 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
         region_ids,
         workers=request.workers,
         backend=request.backend,
+        chunksize=request.chunksize,
         tracer=request.tracer,
     )
     merged = Roadmap(cspace.dim)

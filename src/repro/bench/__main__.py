@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench                 # list available figures
     python -m repro.bench fig5a           # regenerate one figure
     python -m repro.bench all             # regenerate everything
+    python -m repro.bench perf [...]      # hot-path perf regression suite
 """
 
 from __future__ import annotations
@@ -36,7 +37,12 @@ def main(argv: "list[str]") -> int:
         for name, fn in _FIGURES.items():
             summary = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:8s} {summary}")
+        print("  perf     hot-path perf regression suite (see 'perf --help')")
         return 0
+    if argv[0] == "perf":
+        from . import perf
+
+        return perf.main(argv[1:])
     targets = list(_FIGURES) if argv == ["all"] else argv
     unknown = [t for t in targets if t not in _FIGURES]
     if unknown:

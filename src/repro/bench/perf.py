@@ -1,0 +1,326 @@
+"""Benchmark-regression suite for the roadmap-construction hot path.
+
+Times the operations the PRM build spends its life in — sequential-vs-
+batched roadmap construction, batched local planning, k-NN, and pool
+scaling — on fixed seeds, and writes the measurements to a JSON file
+(``BENCH_perf.json`` by default) so regressions show up as diffs.
+
+Every timed comparison also *verifies* that the fast path produces the
+same operation counts as the reference path: the virtual-time model
+depends on ``PlannerStats`` and ``CollisionCounters`` being identical, so
+a speedup that changes the counts is a bug, not a win.
+
+Usage::
+
+    python -m repro.bench perf                     # medium scale -> BENCH_perf.json
+    python -m repro.bench perf --scale smoke       # quick CI-sized run
+    python -m repro.bench perf --output out.json
+    python -m repro.bench perf --check out.json    # validate an existing file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from ..cspace.local_planner import StraightLinePlanner
+from ..cspace.space import EuclideanCSpace
+from ..geometry import environments
+from ..knn.brute import BruteForceNN
+from ..planners.prm import PRM
+from ..runtime.local_pool import run_tasks_parallel
+
+__all__ = ["run_suite", "main", "validate", "SCALES"]
+
+#: Benchmark sizes.  "medium" is the checked-in regression baseline;
+#: "smoke" is CI-sized (seconds, not minutes).
+SCALES = {
+    "smoke": {"prm_samples": 400, "lp_pairs": 400, "knn_points": 1000, "pool_tasks": 16, "repeats": 2},
+    "medium": {"prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64, "repeats": 5},
+}
+
+_ENV_NAME = "med-cube"
+_SEED = 42
+
+
+def _best_of(repeats: int, fn) -> "tuple[float, object]":
+    """Best wall time over ``repeats`` runs (minimum is the low-noise
+    estimator for fixed-work benchmarks); returns (time, last result)."""
+    best = np.inf
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return float(best), out
+
+
+def _cspace():
+    return EuclideanCSpace(environments.by_name(_ENV_NAME))
+
+
+def bench_prm_build(params: dict) -> dict:
+    """Sequential vs batched PRM build on the default path
+    (``connect_same_component=True``), with operation-count parity
+    asserted field for field."""
+    n = params["prm_samples"]
+
+    def run(batched: bool):
+        cs = _cspace()
+        prm = PRM(cs, k=6, connect_same_component=True, batched=batched)
+        res = prm.build(n, np.random.default_rng(_SEED))
+        counters = (cs.env.counters.point_checks, cs.env.counters.segment_checks)
+        edges = sorted((min(u, v), max(u, v)) for u, v, _w in res.roadmap.edges())
+        return asdict(res.stats), counters, edges
+
+    before_s, ref = _best_of(params["repeats"], lambda: run(False))
+    after_s, fast = _best_of(params["repeats"], lambda: run(True))
+    stats_equal = ref[0] == fast[0]
+    counters_equal = ref[1] == fast[1]
+    edges_equal = ref[2] == fast[2]
+    if not (stats_equal and counters_equal and edges_equal):
+        raise AssertionError(
+            "batched PRM build diverged from the sequential reference: "
+            f"stats_equal={stats_equal} counters_equal={counters_equal} "
+            f"edges_equal={edges_equal}"
+        )
+    return {
+        "n_samples": n,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "stats_equal": stats_equal,
+        "counters_equal": counters_equal,
+        "edges_equal": edges_equal,
+        "lp_calls": ref[0]["lp_calls"],
+        "lp_checks": ref[0]["lp_checks"],
+    }
+
+
+def bench_batch_local_plan(params: dict) -> dict:
+    """Per-pair local planner calls vs one ``batch_pairs`` invocation."""
+    m = params["lp_pairs"]
+    cs = _cspace()
+    rng = np.random.default_rng(_SEED)
+    lo, hi = cs.bounds.lo, cs.bounds.hi
+    starts = rng.uniform(lo, hi, size=(m, cs.dim))
+    ends = starts + rng.uniform(-1.0, 1.0, size=(m, cs.dim))
+    ends = np.clip(ends, lo, hi)
+    lp = StraightLinePlanner(resolution=0.25)
+
+    def run_loop():
+        ok = np.empty(m, dtype=bool)
+        checks = 0
+        for i in range(m):
+            r = lp(cs, starts[i], ends[i])
+            ok[i] = r.valid
+            checks += r.checks
+        return ok, checks
+
+    def run_batch():
+        ok, checks, _lengths = lp.batch_pairs(cs, starts, ends)
+        return ok, checks
+
+    before_s, (ok0, ch0) = _best_of(params["repeats"], run_loop)
+    after_s, (ok1, ch1) = _best_of(params["repeats"], run_batch)
+    if not (np.array_equal(ok0, ok1) and ch0 == ch1):
+        raise AssertionError("batch_pairs diverged from the per-pair reference")
+    return {
+        "n_pairs": m,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "checks": int(ch0),
+    }
+
+
+def bench_knn(params: dict) -> dict:
+    """Interleaved query/insert k-NN loop vs the growing-visibility block
+    query used by the batched build."""
+    n = params["knn_points"]
+    k = 6
+    rng = np.random.default_rng(_SEED)
+    pts = rng.uniform(0.0, 10.0, size=(n, 3))
+    ids = np.arange(n, dtype=np.int64)
+
+    def run_loop():
+        nn = BruteForceNN(3)
+        out = []
+        for i in range(n):
+            out.append(nn.knn(pts[i], k))
+            nn.add(int(ids[i]), pts[i])
+        return out
+
+    def run_block():
+        nn = BruteForceNN(3)
+        out = []
+        for lo in range(0, n, 64):
+            out.extend(nn.knn_block_growing(ids[lo : lo + 64], pts[lo : lo + 64], k))
+        return out
+
+    before_s, ref = _best_of(params["repeats"], run_loop)
+    after_s, fast = _best_of(params["repeats"], run_block)
+    if ref != fast:
+        raise AssertionError("knn_block_growing diverged from the query/insert loop")
+    return {
+        "n_points": n,
+        "k": k,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+    }
+
+
+def _pool_task(task_id: int) -> float:
+    """A deterministic CPU-bound unit of regional work (module level so the
+    process backend can pickle it).  ``np.sin`` releases the GIL, so the
+    thread backend can scale where cores are available."""
+    rng = np.random.default_rng(task_id)
+    a = rng.uniform(-1.0, 1.0, size=50_000)
+    total = 0.0
+    for _ in range(6):
+        total += float(np.sin(a).sum())
+        a = a * 1.0000001
+    return total
+
+
+def bench_pool_scaling(params: dict) -> dict:
+    """Thread-pool wall time at 1, 2, and 4 workers on identical tasks.
+
+    On a single-core machine the curve is flat — the interesting signal
+    there is that dispatch overhead stays negligible; ``cpu_count`` is
+    recorded so readers can interpret the numbers.
+    """
+    tasks = list(range(params["pool_tasks"]))
+    times = {}
+    for workers in (1, 2, 4):
+        wall, _ = _best_of(
+            params["repeats"],
+            lambda w=workers: run_tasks_parallel(_pool_task, tasks, workers=w, backend="thread"),
+        )
+        times[str(workers)] = wall
+    return {
+        "n_tasks": len(tasks),
+        "cpu_count": os.cpu_count(),
+        "wall_s_by_workers": times,
+        "speedup_4w": times["1"] / times["4"],
+    }
+
+
+_BENCHMARKS = {
+    "prm_build_default_path": bench_prm_build,
+    "batch_local_plan": bench_batch_local_plan,
+    "knn": bench_knn,
+    "pool_scaling": bench_pool_scaling,
+}
+
+#: Keys every benchmark entry must carry for the file to be well-formed.
+_REQUIRED_FIELDS = {
+    "prm_build_default_path": ("before_s", "after_s", "speedup", "stats_equal", "counters_equal"),
+    "batch_local_plan": ("before_s", "after_s", "speedup"),
+    "knn": ("before_s", "after_s", "speedup"),
+    "pool_scaling": ("wall_s_by_workers", "speedup_4w"),
+}
+
+
+def run_suite(scale: str = "medium") -> dict:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
+    params = SCALES[scale]
+    benchmarks = {}
+    for name, fn in _BENCHMARKS.items():
+        t0 = time.perf_counter()
+        benchmarks[name] = fn(params)
+        print(f"[perf] {name}: {time.perf_counter() - t0:.1f}s", file=sys.stderr)
+    return {
+        "suite": "repro-perf",
+        "scale": scale,
+        "environment": _ENV_NAME,
+        "seed": _SEED,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": benchmarks,
+    }
+
+
+def validate(payload: object) -> "list[str]":
+    """Structural validation of a suite result; returns a list of problems
+    (empty when well-formed)."""
+    problems = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    if payload.get("suite") != "repro-perf":
+        problems.append("missing or wrong 'suite' marker")
+    if payload.get("scale") not in SCALES:
+        problems.append(f"unknown scale {payload.get('scale')!r}")
+    benches = payload.get("benchmarks")
+    if not isinstance(benches, dict):
+        return problems + ["'benchmarks' missing or not an object"]
+    for name, fields in _REQUIRED_FIELDS.items():
+        entry = benches.get(name)
+        if not isinstance(entry, dict):
+            problems.append(f"benchmark {name!r} missing")
+            continue
+        for f in fields:
+            if f not in entry:
+                problems.append(f"benchmark {name!r} missing field {f!r}")
+        for f in ("before_s", "after_s", "speedup"):
+            if f in entry and not (isinstance(entry[f], (int, float)) and entry[f] > 0):
+                problems.append(f"benchmark {name!r} field {f!r} is not a positive number")
+    parity = benches.get("prm_build_default_path", {})
+    for f in ("stats_equal", "counters_equal"):
+        if parity.get(f) is False:
+            problems.append(f"prm_build_default_path reports {f}=false")
+    return problems
+
+
+def main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench perf", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
+    parser.add_argument("--output", default="BENCH_perf.json")
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        help="validate an existing result file instead of running benchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        try:
+            with open(args.check) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"perf check: cannot read {args.check}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate(payload)
+        if problems:
+            for p in problems:
+                print(f"perf check: {p}", file=sys.stderr)
+            return 1
+        print(f"perf check: {args.check} OK")
+        return 0
+
+    payload = run_suite(args.scale)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    prm = payload["benchmarks"]["prm_build_default_path"]
+    print(
+        f"wrote {args.output}: prm build {prm['speedup']:.2f}x "
+        f"({prm['before_s']*1e3:.0f}ms -> {prm['after_s']*1e3:.0f}ms at "
+        f"n={prm['n_samples']}, counts identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -312,11 +312,7 @@ def build_prm_workload(
     boundary_reach = 0.5 * float(cell.max())
     pos_dims = list(cspace.positional_dims)
     positions_of = {
-        rid: (
-            np.stack([roadmap.config(int(i))[pos_dims] for i in vertex_ids_of[rid]])
-            if vertex_ids_of[rid].size
-            else np.empty((0, len(pos_dims)))
-        )
+        rid: roadmap.configs_of(int(i) for i in vertex_ids_of[rid])[:, pos_dims]
         for rid in subdivision.graph.region_ids()
     }
 

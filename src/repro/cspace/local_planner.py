@@ -66,6 +66,19 @@ class StraightLinePlanner:
         per-point collision work batched into a single NumPy broadcast —
         the hot-path optimisation the HPC guides call for.
         """
+        ok, steps, lengths = self.batch_pairs_counted(cspace, starts, ends)
+        return ok, int(steps.sum()), lengths
+
+    def batch_pairs_counted(
+        self, cspace: ConfigurationSpace, starts: np.ndarray, ends: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Like :meth:`batch_pairs` but returns *per-segment* check counts.
+
+        Returns ``(valid_mask, checks_per_segment, lengths)``; consumers
+        that interleave validation with other bookkeeping (the PRM's
+        speculate-then-replay connection loop) need per-segment
+        attribution of the check budget.
+        """
         starts = np.atleast_2d(np.asarray(starts, dtype=float))
         ends = np.atleast_2d(np.asarray(ends, dtype=float))
         m = starts.shape[0]
@@ -73,7 +86,7 @@ class StraightLinePlanner:
         steps = np.maximum(np.ceil(lengths / self.resolution).astype(int) - 1, 0)
         total = int(steps.sum())
         if total == 0:
-            return np.ones(m, dtype=bool), 0, lengths
+            return np.ones(m, dtype=bool), steps, lengths
         # For segment i the check parameters are j/(n_i+1), j = 1..n_i;
         # build them all at once with repeat/cumsum indexing.
         seg = np.repeat(np.arange(m), steps)
@@ -83,7 +96,54 @@ class StraightLinePlanner:
         pts = cspace.interpolate_pairs(starts[seg], ends[seg], t)
         ok = cspace.valid(pts)
         bad_counts = np.bincount(seg[~ok], minlength=m)
-        return bad_counts == 0, total, lengths
+        return bad_counts == 0, steps, lengths
+
+    def batch_pairs_chunked(
+        self,
+        cspace: ConfigurationSpace,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        chunk: int = 8,
+    ) -> "tuple[np.ndarray, int, np.ndarray]":
+        """Fail-fast variant of :meth:`batch_pairs`.
+
+        Checks proceed in waves of up to ``chunk`` intermediate points per
+        segment; a segment that collides in one wave drops out of the
+        later ones, so long invalid segments stop early (the spirit of
+        :class:`BinaryLocalPlanner`, kept batched).  ``checks`` therefore
+        counts only the points actually evaluated — typically far fewer
+        than :meth:`batch_pairs` on failures, identical on success — so
+        this trades exact check-count parity with the sequential planner
+        for speed.
+        """
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        starts = np.atleast_2d(np.asarray(starts, dtype=float))
+        ends = np.atleast_2d(np.asarray(ends, dtype=float))
+        m = starts.shape[0]
+        lengths = cspace.distance_pairs(starts, ends)
+        steps = np.maximum(np.ceil(lengths / self.resolution).astype(int) - 1, 0)
+        valid = np.ones(m, dtype=bool)
+        checks = 0
+        max_steps = int(steps.max()) if m else 0
+        for wave_start in range(0, max_steps, chunk):
+            # Segments still alive with checks remaining in this wave.
+            remaining = steps - wave_start
+            alive = valid & (remaining > 0)
+            if not alive.any():
+                break
+            wave = np.minimum(remaining[alive], chunk)
+            seg_local = np.repeat(np.nonzero(alive)[0], wave)
+            offsets = np.concatenate(([0], np.cumsum(wave)))
+            j = np.arange(int(wave.sum())) - offsets[np.repeat(np.arange(wave.size), wave)]
+            j = j + wave_start + 1
+            t = j / (steps[seg_local] + 1)
+            pts = cspace.interpolate_pairs(starts[seg_local], ends[seg_local], t)
+            ok = cspace.valid(pts)
+            checks += int(seg_local.size)
+            if not ok.all():
+                valid[np.unique(seg_local[~ok])] = False
+        return valid, checks, lengths
 
 
 class BinaryLocalPlanner:

@@ -34,8 +34,13 @@ class BruteForceNN(NeighborFinder):
         if need <= cap:
             return
         new_cap = max(need, 2 * cap)
-        self._points = np.resize(self._points, (new_cap, self.dim))
-        self._ids = np.resize(self._ids, new_cap)
+        # Explicit alloc+copy of the live prefix: np.resize would fill the
+        # new space by tiling the old buffer (wasted copying of garbage).
+        points = np.empty((new_cap, self.dim))
+        points[: self._n] = self._points[: self._n]
+        ids = np.empty(new_cap, dtype=np.int64)
+        ids[: self._n] = self._ids[: self._n]
+        self._points, self._ids = points, ids
 
     def add(self, point_id: int, point: np.ndarray) -> None:
         self._ensure_capacity(1)
@@ -52,6 +57,25 @@ class BruteForceNN(NeighborFinder):
         self._points[self._n : self._n + points.shape[0]] = points
         self._ids[self._n : self._n + points.shape[0]] = ids
         self._n += points.shape[0]
+
+    @staticmethod
+    def _dist_block(stored: np.ndarray, queries: np.ndarray, out: np.ndarray) -> None:
+        """Write ``||stored[j] - queries[i]||`` into ``out[i, j]`` using
+        per-dimension 2-D accumulation (see :meth:`knn_block_growing`)."""
+        n = stored.shape[0]
+        if n == 0:
+            return
+        m, dim = queries.shape
+        tmp = np.empty((m, n))
+        s = np.empty((m, n))
+        for j in range(dim):
+            np.subtract(stored[None, :, j], queries[:, j, None], out=tmp)
+            np.multiply(tmp, tmp, out=tmp)
+            if j == 0:
+                s, tmp = tmp, s
+            else:
+                np.add(s, tmp, out=s)
+        np.sqrt(s, out=out)
 
     def _distances(self, query: np.ndarray) -> np.ndarray:
         pts = self._points[: self._n]
@@ -73,6 +97,79 @@ class BruteForceNN(NeighborFinder):
         idx = np.argpartition(d, k_eff - 1)[:k_eff]
         order = idx[np.argsort(d[idx], kind="stable")]
         return [(int(ids[i]), float(d[i])) for i in order]
+
+    def knn_block_growing(
+        self, ids: np.ndarray, points: np.ndarray, k: int
+    ) -> "list[list[tuple[int, float]]]":
+        """k-NN for a block of points as if queried/inserted one at a time.
+
+        Query ``i`` searches the stored points plus ``points[:i]``, and all
+        block points are inserted afterwards — exactly equivalent (same
+        results, same :class:`KnnStats` charges) to the interleaved
+        ``knn(points[i], k); add(ids[i], points[i])`` sequence the PRM
+        build loop performs, but with all distance work done in two
+        broadcasts instead of one per query.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        ids = np.asarray(ids, dtype=np.int64)
+        m = points.shape[0]
+        if ids.shape[0] != m:
+            raise ValueError("ids and points length mismatch")
+        n0 = self._n
+        out: "list[list[tuple[int, float]]]" = []
+        if m == 0:
+            return out
+        # Row i of D holds query i's distances: stored points in columns
+        # [0, n0), earlier block points in columns [n0, n0+i); later block
+        # points (and self) are masked to +inf so one row-wise selection
+        # covers the whole block.
+        D = np.empty((m, n0 + m))
+        # Distances are accumulated per dimension in 2-D planes instead of
+        # reducing a (m, n, dim) broadcast: np.add.reduce over the last
+        # axis sums left to right, so `s = dx0²; s += dx1²; ...; sqrt(s)`
+        # produces bit-identical values to np.linalg.norm(diff, axis=2)
+        # (and to the per-query `knn` path) while never materialising the
+        # 3-D temporary — about a third of the memory traffic on the
+        # O(n²) floor of roadmap construction.
+        self._dist_block(self._points[:n0], points, D[:, :n0])
+        if m > 1:
+            self._dist_block(points, points, D[:, n0:])
+            # Mask self-distances and not-yet-visible later block points.
+            D[:, n0:][np.arange(m)[None, :] >= np.arange(m)[:, None]] = np.inf
+        else:
+            D[:, n0:] = np.inf
+        # Charge exactly what the interleaved loop would: a query against
+        # an empty structure (or with k<=0) returns early uncharged.
+        if k > 0:
+            charged = m if n0 else m - 1
+            self.stats.queries += max(charged, 0)
+            self.stats.distance_evals += m * n0 + m * (m - 1) // 2
+        all_ids = np.concatenate((self._ids[:n0], ids))
+        # Rows with fewer than k visible points (only the first k-n0 rows
+        # of a fresh structure) take per-row selection; the rest batch.
+        i0 = min(max(k - n0, 0), m) if k > 0 else m
+        for i in range(i0):
+            n = n0 + i
+            if n == 0 or k <= 0:
+                out.append([])
+                continue
+            d = D[i, :n]
+            k_eff = min(k, n)
+            idx = np.argpartition(d, k_eff - 1)[:k_eff]
+            order = idx[np.argsort(d[idx], kind="stable")]
+            out.append([(int(all_ids[j]), float(d[j])) for j in order])
+        if i0 < m:
+            block = D[i0:]
+            idx = np.argpartition(block, k - 1, axis=1)[:, :k]
+            dk = np.take_along_axis(block, idx, axis=1)
+            order = np.argsort(dk, axis=1, kind="stable")
+            sel = np.take_along_axis(idx, order, axis=1)
+            pids = all_ids[sel]
+            dists = np.take_along_axis(dk, order, axis=1)
+            for prow, drow in zip(pids.tolist(), dists.tolist()):
+                out.append(list(zip(prow, drow)))
+        self.add_batch(ids, points)
+        return out
 
     def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
         if self._n == 0:

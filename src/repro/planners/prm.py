@@ -5,6 +5,16 @@ parallel PRM (line 8 of Algorithm 1 in the paper).  It samples valid
 configurations, connects each to its k nearest neighbours with a local
 planner, and returns the regional roadmap together with the operation
 counts the virtual-time model charges for.
+
+Neighbour connection — the hot path — is batched through the local
+planner's ``batch_pairs`` whenever it offers one, *including* on the
+default ``connect_same_component=True`` path: candidates are filtered by
+connected component first and only the survivors are validated, in an
+order that reproduces the sequential planner's operation counts exactly
+(see :meth:`PRM._connect_batched`).  ``PlannerStats`` and the
+environment's ``CollisionCounters`` are therefore field-for-field
+identical to the one-edge-at-a-time implementation; the virtual-time
+model depends on that.
 """
 
 from __future__ import annotations
@@ -22,6 +32,8 @@ from .roadmap import Roadmap
 from .stats import PlannerStats
 
 __all__ = ["PRM", "PRMResult"]
+
+_BLOCK = 64
 
 
 @dataclass
@@ -52,6 +64,17 @@ class PRM:
     nn_factory:
         Callable ``dim -> NeighborFinder`` (default brute force, the right
         choice at regional roadmap sizes).
+    batched:
+        Use the local planner's vectorised ``batch_pairs`` when available
+        (default True).  Operation counts are identical either way; False
+        forces the one-edge-at-a-time reference path (used by the perf
+        suite to measure the speedup and by tests to assert parity).
+    fail_fast:
+        Opt into the chunked fail-fast batch validator
+        (``batch_pairs_chunked``) so long invalid segments stop early.
+        Faster in cluttered spaces but *changes* ``lp_checks`` (fewer
+        checks on failures), so it is off by default — the virtual-time
+        model wants the exact counts.
     """
 
     def __init__(
@@ -62,6 +85,8 @@ class PRM:
         k: int = 6,
         connect_same_component: bool = True,
         nn_factory=None,
+        batched: bool = True,
+        fail_fast: bool = False,
     ):
         self.cspace = cspace
         self.sampler = sampler or UniformSampler()
@@ -71,6 +96,202 @@ class PRM:
         self.k = k
         self.connect_same_component = connect_same_component
         self.nn_factory = nn_factory or BruteForceNN
+        self.batched = batched
+        self.fail_fast = fail_fast
+
+    # -- batched validation ------------------------------------------------
+    def _use_batch(self) -> bool:
+        return self.batched and hasattr(self.local_planner, "batch_pairs")
+
+    def _validate_pairs(
+        self, starts: np.ndarray, ends: np.ndarray
+    ) -> "tuple[np.ndarray, int, np.ndarray]":
+        if self.fail_fast and hasattr(self.local_planner, "batch_pairs_chunked"):
+            return self.local_planner.batch_pairs_chunked(self.cspace, starts, ends)
+        return self.local_planner.batch_pairs(self.cspace, starts, ends)
+
+    def _connect_batched(
+        self,
+        rmap: Roadmap,
+        vid: int,
+        cfg: np.ndarray,
+        neighbors: "list[tuple[int, float]]",
+        stats: PlannerStats,
+    ) -> None:
+        """Connect a *new* vertex to its candidate neighbours, batched.
+
+        Reproduces the sequential semantics exactly.  With
+        ``connect_same_component=True`` the sequential loop validates, per
+        connected component, that component's candidates in order until
+        the first success (a success merges the component into ``vid``'s,
+        so its remaining candidates are skipped); components are mutually
+        independent because ``vid`` starts in a singleton component.  So:
+        group candidates by current component and validate one wave per
+        round — the first still-open candidate of every still-open group —
+        through one ``batch_pairs`` call.  Round 1 covers everything when
+        components are distinct, which is the common case.
+        """
+        if self.connect_same_component:
+            groups: "dict[int, list[int]]" = {}
+            for nbr_id, _d in neighbors:
+                groups.setdefault(rmap.component_id(nbr_id), []).append(nbr_id)
+            queues = list(groups.values())
+        else:
+            queues = [[nbr_id] for nbr_id, _d in neighbors]
+        pos = [0] * len(queues)
+        active = list(range(len(queues)))
+        while active:
+            wave_ids = [queues[g][pos[g]] for g in active]
+            ends = rmap.configs_of(wave_ids)
+            starts = np.broadcast_to(cfg, ends.shape)
+            ok, checks, lengths = self._validate_pairs(starts, ends)
+            stats.lp_calls += len(wave_ids)
+            stats.lp_checks += checks
+            still_open = []
+            for j, g in enumerate(active):
+                if ok[j]:
+                    stats.lp_successes += 1
+                    if rmap.add_edge(vid, wave_ids[j], float(lengths[j])):
+                        stats.edges_added += 1
+                else:
+                    pos[g] += 1
+                    if pos[g] < len(queues[g]):
+                        still_open.append(g)
+            active = still_open
+
+    def _build_block(
+        self,
+        rmap: Roadmap,
+        configs: np.ndarray,
+        id_base: int,
+        next_local: int,
+        nn,
+        stats: PlannerStats,
+    ) -> None:
+        """Add ``configs`` to the roadmap in predict-validate-replay blocks.
+
+        Per block of up to ``_BLOCK`` samples: (1) batch the k-NN queries
+        with growing visibility (query *i* sees the block's earlier
+        samples, exactly as the interleaved query/insert loop would);
+        (2) predict which candidate pairs the sequential connection loop
+        will actually validate — the first unconsumed candidate of each
+        distinct connected component, per vertex — and validate the whole
+        prediction in one vectorised ``batch_pairs_counted`` call (pair
+        verdicts depend only on geometry, never on roadmap state, so
+        validating ahead of time is safe); then (3) replay the sequential
+        decision loop in strict order against the verdict cache, applying
+        edges as it goes so component checks see exactly the state the
+        reference implementation would.  A replay that needs a verdict
+        the prediction missed (e.g. the candidate *after* a failed
+        attempt in the same component) pauses, and the loop predicts
+        again from the paused state — a handful of small follow-up
+        batches in practice.
+
+        ``PlannerStats`` are charged from the replay, so they match the
+        sequential path field for field.  The environment's
+        ``CollisionCounters`` are rescaled from the speculative charge to
+        the replayed one (the charge per intermediate point is a constant
+        factor, so the correction is exact integer arithmetic).
+        """
+        env = getattr(self.cspace, "env", None)
+        counters = getattr(env, "counters", None)
+        cslot = rmap.component_slot
+        for lo in range(0, configs.shape[0], _BLOCK):
+            chunk = configs[lo : lo + _BLOCK]
+            m = chunk.shape[0]
+            vids = [id_base + next_local + i for i in range(m)]
+            next_local += m
+            nbr_lists = nn.knn_block_growing(
+                np.asarray(vids, dtype=np.int64), chunk, self.k
+            )
+            stats.nn_queries += m
+            for i in range(m):
+                rmap.add_vertex(chunk[i], vids[i])
+            before = counters.snapshot() if counters is not None else None
+            spec_checks = 0
+            seq_checks = 0
+            cache: "dict[tuple[int, int], tuple[bool, int, float]]" = {}
+            ptr = [0] * m
+            active = [i for i in range(m) if nbr_lists[i]]
+            while active:
+                # Predict the verdicts the replay will need from here.
+                # Component slots are stable within a round (no edges are
+                # applied while predicting), so roots memoise per id.
+                need: "list[tuple[int, int]]" = []
+                root_cache: "dict[int, int]" = {}
+                for i in active:
+                    lst = nbr_lists[i]
+                    if self.connect_same_component:
+                        rv = cslot(vids[i])
+                        seen: "set[int]" = set()
+                        for pos in range(ptr[i], len(lst)):
+                            c = lst[pos][0]
+                            rc = root_cache.get(c)
+                            if rc is None:
+                                rc = root_cache[c] = cslot(c)
+                            if rc == rv or rc in seen:
+                                continue
+                            seen.add(rc)
+                            if (i, pos) not in cache:
+                                need.append((i, pos))
+                    else:
+                        for pos in range(ptr[i], len(lst)):
+                            if (i, pos) not in cache:
+                                need.append((i, pos))
+                if need:
+                    starts = chunk[[i for i, _pos in need]]
+                    ends = rmap.configs_of(nbr_lists[i][pos][0] for i, pos in need)
+                    ok, per_checks, lengths = self.local_planner.batch_pairs_counted(
+                        self.cspace, starts, ends
+                    )
+                    spec_checks += int(per_checks.sum())
+                    for j, key in enumerate(need):
+                        cache[key] = (bool(ok[j]), int(per_checks[j]), float(lengths[j]))
+                # Strict in-order replay; a missing verdict pauses the
+                # replay (later vertices' decisions depend on the
+                # outcome) until the next prediction round fills it.
+                paused = False
+                still_open: "list[int]" = []
+                for i in active:
+                    if paused:
+                        still_open.append(i)
+                        continue
+                    vid = vids[i]
+                    lst = nbr_lists[i]
+                    pos = ptr[i]
+                    rs = cslot(vid)
+                    while pos < len(lst):
+                        v = lst[pos][0]
+                        if self.connect_same_component and cslot(v) == rs:
+                            pos += 1
+                            continue
+                        verdict = cache.get((i, pos))
+                        if verdict is None:
+                            paused = True
+                            break
+                        okp, c, length = verdict
+                        stats.lp_calls += 1
+                        stats.lp_checks += c
+                        seq_checks += c
+                        if okp:
+                            stats.lp_successes += 1
+                            if rmap.add_edge(vid, v, length):
+                                stats.edges_added += 1
+                            rs = cslot(vid)
+                        pos += 1
+                    ptr[i] = pos
+                    if pos < len(lst):
+                        still_open.append(i)
+                active = still_open
+            if counters is not None and spec_checks:
+                dp = counters.point_checks - before.point_checks
+                ds = counters.segment_checks - before.segment_checks
+                counters.point_checks = (
+                    before.point_checks + dp * seq_checks // spec_checks
+                )
+                counters.segment_checks = (
+                    before.segment_checks + ds * seq_checks // spec_checks
+                )
 
     def build(
         self,
@@ -99,7 +320,20 @@ class PRM:
         if ids.size:
             nn.add_batch(ids, cfgs)
 
-        batched = not self.connect_same_component and hasattr(self.local_planner, "batch_pairs")
+        if (
+            self._use_batch()
+            and not self.fail_fast
+            and hasattr(self.local_planner, "batch_pairs_counted")
+            and hasattr(nn, "knn_block_growing")
+        ):
+            self._build_block(
+                rmap, np.asarray(batch.configs, dtype=float), id_base,
+                rmap.num_vertices, nn, stats,
+            )
+            stats.nn_distance_evals += nn.stats.distance_evals
+            return PRMResult(rmap, stats)
+
+        batched = self._use_batch()
         next_local = rmap.num_vertices
         for cfg in batch.configs:
             vid = id_base + next_local
@@ -109,17 +343,7 @@ class PRM:
             neighbors = nn.knn(cfg, self.k)
             stats.nn_queries += 1
             if batched and len(neighbors) > 1:
-                nbr_ids = [n for n, _d in neighbors]
-                ends = np.stack([rmap.config(n) for n in nbr_ids])
-                starts = np.broadcast_to(cfg, ends.shape)
-                ok, checks, lengths = self.local_planner.batch_pairs(self.cspace, starts, ends)
-                stats.lp_calls += len(nbr_ids)
-                stats.lp_checks += checks
-                for i, nbr_id in enumerate(nbr_ids):
-                    if ok[i]:
-                        stats.lp_successes += 1
-                        if rmap.add_edge(vid, nbr_id, float(lengths[i])):
-                            stats.edges_added += 1
+                self._connect_batched(rmap, vid, cfg, neighbors, stats)
             else:
                 for nbr_id, _dist in neighbors:
                     if self.connect_same_component and rmap.same_component(vid, nbr_id):
@@ -148,6 +372,12 @@ class PRM:
         Used for the inter-region connection phase (lines 10-12 of
         Algorithm 1): for each vertex in ``ids_a``, try its ``k`` nearest
         vertices in ``ids_b``.
+
+        Batched exactly like :meth:`build`: candidate pairs accumulate
+        into one validation batch, flushed early only when a pair's
+        same-component decision could depend on a pending outcome (either
+        of its components is already touched by an unvalidated pair).
+        Operation counts match the sequential reference path exactly.
         """
         stats = PlannerStats()
         k = k or self.k
@@ -155,31 +385,9 @@ class PRM:
         if ids_b.size == 0 or len(ids_a) == 0:
             return stats
         nn = self.nn_factory(self.cspace.dim)
-        nn.add_batch(ids_b, np.stack([rmap.config(int(i)) for i in ids_b]))
-        batched = not self.connect_same_component and hasattr(self.local_planner, "batch_pairs")
-        if batched:
-            # Collect all (u, v) candidate pairs, then validate in one batch.
-            pairs: "list[tuple[int, int]]" = []
-            for u in np.asarray(ids_a, dtype=np.int64):
-                u = int(u)
-                stats.nn_queries += 1
-                for v, _dist in nn.knn(rmap.config(u), k):
-                    pairs.append((u, v))
-                    if max_attempts is not None and len(pairs) >= max_attempts:
-                        break
-                if max_attempts is not None and len(pairs) >= max_attempts:
-                    break
-            if pairs:
-                starts = np.stack([rmap.config(u) for u, _v in pairs])
-                ends = np.stack([rmap.config(v) for _u, v in pairs])
-                ok, checks, lengths = self.local_planner.batch_pairs(self.cspace, starts, ends)
-                stats.lp_calls += len(pairs)
-                stats.lp_checks += checks
-                for i, (u, v) in enumerate(pairs):
-                    if ok[i]:
-                        stats.lp_successes += 1
-                        if rmap.add_edge(u, v, float(lengths[i])):
-                            stats.edges_added += 1
+        nn.add_batch(ids_b, rmap.configs_of(int(i) for i in ids_b))
+        if self._use_batch():
+            self._connect_pairs_batched(rmap, ids_a, nn, k, max_attempts, stats)
             stats.nn_distance_evals += nn.stats.distance_evals
             return stats
         attempts = 0
@@ -203,3 +411,57 @@ class PRM:
                         stats.edges_added += 1
         stats.nn_distance_evals += nn.stats.distance_evals
         return stats
+
+    def _connect_pairs_batched(
+        self,
+        rmap: Roadmap,
+        ids_a: np.ndarray,
+        nn,
+        k: int,
+        max_attempts: int | None,
+        stats: PlannerStats,
+    ) -> None:
+        pending: "list[tuple[int, int]]" = []
+        pending_roots: "set[int]" = set()
+
+        def flush() -> None:
+            if not pending:
+                return
+            starts = rmap.configs_of(u for u, _v in pending)
+            ends = rmap.configs_of(v for _u, v in pending)
+            ok, checks, lengths = self._validate_pairs(starts, ends)
+            stats.lp_calls += len(pending)
+            stats.lp_checks += checks
+            for i, (u, v) in enumerate(pending):
+                if ok[i]:
+                    stats.lp_successes += 1
+                    if rmap.add_edge(u, v, float(lengths[i])):
+                        stats.edges_added += 1
+            pending.clear()
+            pending_roots.clear()
+
+        attempts = 0
+        exhausted = False
+        for u in np.asarray(ids_a, dtype=np.int64):
+            u = int(u)
+            stats.nn_queries += 1
+            for v, _dist in nn.knn(rmap.config(u), k):
+                if max_attempts is not None and attempts >= max_attempts:
+                    exhausted = True
+                    break
+                if self.connect_same_component:
+                    ru, rv = rmap.component_id(u), rmap.component_id(v)
+                    if ru == rv or ru in pending_roots or rv in pending_roots:
+                        # Decision may depend on a pending outcome: settle
+                        # the batch, then re-evaluate against fresh state.
+                        flush()
+                        ru, rv = rmap.component_id(u), rmap.component_id(v)
+                        if ru == rv:
+                            continue
+                    pending_roots.add(ru)
+                    pending_roots.add(rv)
+                attempts += 1
+                pending.append((u, v))
+            if exhausted:
+                break
+        flush()

@@ -145,9 +145,6 @@ class RoadmapQuery:
             configs = np.stack([rmap.config(v) for v in path])
             return QueryResult(path, configs, length)
         finally:
-            for vid in (sid, gid):
+            for vid in (gid, sid):
                 if rmap.has_vertex(vid):
-                    for nbr in list(rmap.neighbors(vid)):
-                        rmap.remove_edge(vid, nbr)
-                    rmap._configs.pop(vid)
-                    rmap._adj.pop(vid)
+                    rmap.remove_vertex(vid)

@@ -218,3 +218,37 @@ class TestResultProtocols:
         rrt_names = [name for name, _ in rrt.phases.phase_items()]
         # RRT has no generate phase; otherwise the vocabulary is identical.
         assert [n for n in prm_names if n != "generate"] == rrt_names
+
+
+class TestDeterminismAndChunking:
+    def test_seeded_local_runs_identical(self):
+        """Two plan() calls with the same seed must build statistically
+        identical roadmaps — the reproducibility contract the benchmark
+        suite and the paper's figures both rely on."""
+        def run():
+            report = plan(
+                PlanRequest(planner="prm", num_regions=8, samples_per_region=5,
+                            execution="local", workers=2, seed=7)
+            )
+            rm = report.roadmap
+            ids, cfgs = rm.configs_array()
+            edges = sorted((min(u, v), max(u, v), w) for u, v, w in rm.edges())
+            return list(ids), cfgs.tolist(), edges
+
+        assert run() == run()
+
+    def test_chunksize_wired_through(self):
+        base = plan(
+            PlanRequest(num_regions=8, samples_per_region=4, execution="local",
+                        workers=2, seed=3)
+        )
+        chunked = plan(
+            PlanRequest(num_regions=8, samples_per_region=4, execution="local",
+                        workers=2, seed=3, chunksize=3)
+        )
+        assert len(chunked.pool.results) == len(base.pool.results) == 8
+        assert chunked.roadmap.num_vertices == base.roadmap.num_vertices
+
+    def test_chunksize_validated(self):
+        with pytest.raises(ValueError):
+            PlanRequest(chunksize=0).validate()

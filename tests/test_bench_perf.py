@@ -1,0 +1,96 @@
+"""Tests for the perf regression suite (repro.bench.perf)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import perf
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One smoke-scale suite run shared by the structural tests (the run
+    itself asserts sequential/batched parity internally)."""
+    return perf.run_suite("smoke")
+
+
+class TestRunSuite:
+    def test_structure(self, smoke_payload):
+        p = smoke_payload
+        assert p["suite"] == "repro-perf"
+        assert p["scale"] == "smoke"
+        assert set(perf._REQUIRED_FIELDS) <= set(p["benchmarks"])
+        prm = p["benchmarks"]["prm_build_default_path"]
+        assert prm["stats_equal"] and prm["counters_equal"] and prm["edges_equal"]
+        assert prm["speedup"] > 0
+
+    def test_payload_is_json_round_trippable(self, smoke_payload):
+        assert json.loads(json.dumps(smoke_payload)) == smoke_payload
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            perf.run_suite("galactic")
+
+
+class TestValidate:
+    def test_accepts_suite_output(self, smoke_payload):
+        assert perf.validate(smoke_payload) == []
+
+    def test_rejects_non_object(self):
+        assert perf.validate([1, 2]) != []
+        assert perf.validate(None) != []
+
+    def test_rejects_wrong_suite_marker(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["suite"] = "other"
+        assert any("suite" in p for p in perf.validate(bad))
+
+    def test_rejects_missing_benchmark(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        del bad["benchmarks"]["knn"]
+        assert any("knn" in p for p in perf.validate(bad))
+
+    def test_rejects_missing_field(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        del bad["benchmarks"]["prm_build_default_path"]["speedup"]
+        assert any("speedup" in p for p in perf.validate(bad))
+
+    def test_rejects_parity_failure(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["benchmarks"]["prm_build_default_path"]["stats_equal"] = False
+        assert any("stats_equal" in p for p in perf.validate(bad))
+
+    def test_rejects_nonpositive_timing(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["benchmarks"]["knn"]["before_s"] = 0
+        assert any("before_s" in p for p in perf.validate(bad))
+
+
+class TestCheckCli:
+    def test_check_ok(self, smoke_payload, tmp_path, capsys):
+        f = tmp_path / "bench.json"
+        f.write_text(json.dumps(smoke_payload))
+        assert perf.main(["--check", str(f)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_missing_file(self, tmp_path):
+        assert perf.main(["--check", str(tmp_path / "absent.json")]) == 2
+
+    def test_check_malformed_json(self, tmp_path):
+        f = tmp_path / "bad.json"
+        f.write_text("{not json")
+        assert perf.main(["--check", str(f)]) == 2
+
+    def test_check_invalid_payload(self, tmp_path):
+        f = tmp_path / "bad.json"
+        f.write_text(json.dumps({"suite": "other"}))
+        assert perf.main(["--check", str(f)]) == 1
+
+    def test_checked_in_baseline_validates(self):
+        import pathlib
+
+        baseline = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+        payload = json.loads(baseline.read_text())
+        assert perf.validate(payload) == []
+        assert payload["benchmarks"]["prm_build_default_path"]["speedup"] >= 2.0

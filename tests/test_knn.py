@@ -126,3 +126,56 @@ class TestStats:
         nn = KDTreeNN(3)
         nn.add_batch(np.arange(1000), rng.normal(size=(1000, 3)))
         assert nn.depth() < 60
+
+
+class TestCapacityGrowth:
+    def test_incremental_adds_past_capacity(self, rng):
+        """Data must survive repeated buffer growth (regression: np.resize
+        tiles the old buffer instead of preserving a prefix)."""
+        nn = BruteForceNN(2)
+        pts = rng.uniform(0.0, 10.0, size=(300, 2))
+        for i, p in enumerate(pts):
+            nn.add(i, p)
+        assert len(nn) == 300
+        # Every stored point must be its own nearest neighbour.
+        for i in (0, 63, 64, 65, 128, 299):
+            nbrs = nn.knn(pts[i], 1)
+            assert nbrs[0][0] == i
+            assert nbrs[0][1] == 0.0
+
+
+class TestBlockGrowing:
+    @pytest.mark.parametrize("n0,m,k", [(0, 1, 4), (0, 10, 4), (3, 17, 4), (50, 64, 6), (5, 2, 8)])
+    def test_matches_interleaved_loop(self, rng, n0, m, k):
+        """knn_block_growing must equal the query-then-insert loop exactly:
+        same neighbours, same order, same distances, same stats charges."""
+        stored = rng.uniform(0.0, 10.0, size=(n0, 3))
+        block = rng.uniform(0.0, 10.0, size=(m, 3))
+        ids = np.arange(n0 + m, dtype=np.int64)
+
+        ref_nn = BruteForceNN(3)
+        if n0:
+            ref_nn.add_batch(ids[:n0], stored)
+        ref = []
+        for i in range(m):
+            ref.append(ref_nn.knn(block[i], k))
+            ref_nn.add(int(ids[n0 + i]), block[i])
+
+        blk_nn = BruteForceNN(3)
+        if n0:
+            blk_nn.add_batch(ids[:n0], stored)
+        got = blk_nn.knn_block_growing(ids[n0:], block, k)
+
+        assert got == ref
+        assert blk_nn.stats.queries == ref_nn.stats.queries
+        assert blk_nn.stats.distance_evals == ref_nn.stats.distance_evals
+        assert len(blk_nn) == len(ref_nn) == n0 + m
+
+    def test_empty_block(self):
+        nn = BruteForceNN(3)
+        assert nn.knn_block_growing(np.empty(0, dtype=np.int64), np.empty((0, 3)), 4) == []
+
+    def test_mismatched_lengths_raise(self, rng):
+        nn = BruteForceNN(2)
+        with pytest.raises(ValueError):
+            nn.knn_block_growing(np.arange(3), rng.uniform(size=(2, 2)), 2)

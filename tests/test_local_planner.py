@@ -98,3 +98,50 @@ def test_exact_segment_check_implies_lp_verdict(seed):
     exact_free = not env.segments_in_collision(a[None], b[None])[0]
     if exact_free:
         assert lp(cspace, a, b).valid
+
+
+class TestBatchPairsChunked:
+    def test_same_verdicts_fewer_checks(self, box_cspace, rng):
+        lp = StraightLinePlanner(resolution=0.25)
+        starts = rng.uniform(-5, 5, size=(60, 2))
+        ends = rng.uniform(-5, 5, size=(60, 2))
+        ok_full, checks_full, len_full = lp.batch_pairs(box_cspace, starts, ends)
+        ok_ff, checks_ff, len_ff = lp.batch_pairs_chunked(box_cspace, starts, ends, chunk=4)
+        np.testing.assert_array_equal(ok_full, ok_ff)
+        np.testing.assert_allclose(len_full, len_ff)
+        assert checks_ff <= checks_full
+        # The fixture environment blocks some of these segments, so the
+        # fail-fast variant must actually save work here.
+        assert not ok_full.all()
+        assert checks_ff < checks_full
+
+    def test_identical_on_all_free(self, box_cspace):
+        lp = StraightLinePlanner(resolution=0.25)
+        starts = np.full((5, 2), -4.5) + np.arange(5)[:, None] * 0.01
+        ends = starts + [[0.3, 0.0]] * 5
+        ok_full, checks_full, _ = lp.batch_pairs(box_cspace, starts, ends)
+        ok_ff, checks_ff, _ = lp.batch_pairs_chunked(box_cspace, starts, ends)
+        assert ok_full.all() and ok_ff.all()
+        assert checks_full == checks_ff
+
+
+class TestBinaryVsStraightLine:
+    def test_exactly_free_segments_accepted_by_both(self, box_cspace, rng):
+        """Bisection and the uniform sweep probe different point sets, so
+        their verdicts may differ near obstacle boundaries — but both only
+        probe points *on* the segment, so an exactly collision-free
+        segment must be accepted by both, at matching length and with the
+        sweep's check count as one per interior step."""
+        sl = StraightLinePlanner(resolution=0.25)
+        bi = BinaryLocalPlanner(resolution=0.25)
+        free = 0
+        for _ in range(120):
+            a = rng.uniform(-5, 5, size=2)
+            b = rng.uniform(-5, 5, size=2)
+            if box_cspace.env.segments_in_collision(a[None], b[None])[0]:
+                continue
+            free += 1
+            rs, rb = sl(box_cspace, a, b), bi(box_cspace, a, b)
+            assert rs.valid and rb.valid
+            assert rs.length == pytest.approx(rb.length)
+        assert free > 10

@@ -64,3 +64,37 @@ class TestRunTasksParallel:
         assert summary.tasks_executed == len(res.results) == 12
         assert tr.metrics.histogram("task_time").count == 12
         assert tr.metrics.counter("pool_tasks").value == 12
+
+
+class TestBackendsAndChunking:
+    def test_thread_and_process_agree(self):
+        tasks = list(range(12))
+        rt = run_tasks_parallel(_square, tasks, workers=2, backend="thread")
+        rp = run_tasks_parallel(_square, tasks, workers=2, backend="process")
+        assert rt.results == rp.results == {t: t * t for t in tasks}
+        assert set(rp.per_task_time) == set(tasks)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_chunksize_preserves_results(self, backend):
+        tasks = list(range(10))
+        res = run_tasks_parallel(_square, tasks, workers=2, backend=backend, chunksize=4)
+        assert res.results == {t: t * t for t in tasks}
+        assert set(res.per_task_time) == set(tasks)
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            run_tasks_parallel(_square, [1], workers=1, chunksize=0)
+        with pytest.raises(ValueError):
+            run_tasks_parallel(_square, [1], workers=1, backend="greenlet")
+
+    def test_tracer_sees_every_task_with_chunks(self):
+        from repro.obs import Tracer, summarize_events
+
+        tr = Tracer()
+        res = run_tasks_parallel(
+            _square, list(range(9)), workers=2, chunksize=2, tracer=tr
+        )
+        summary = summarize_events(tr.memory.events)
+        assert summary.tasks_executed == len(res.results) == 9
+        assert tr.metrics.histogram("task_time").count == 9
+        assert tr.metrics.counter("pool_tasks").value == 9

@@ -115,3 +115,98 @@ class TestConnectRoadmaps:
         planner, rmap, ids_a, _ = self._two_regions(box_cspace, rng)
         stats = planner.connect_roadmaps(rmap, ids_a, np.empty(0, dtype=np.int64))
         assert stats.lp_calls == 0
+
+
+class TestBatchedParity:
+    """The batched connection paths must reproduce the sequential
+    reference exactly: same PlannerStats field for field, same collision
+    counters, same edge set — the virtual-time model charges for these."""
+
+    def _build(self, cspace, batched, n=120, connect_same_component=True):
+        planner = PRM(
+            cspace, k=5, connect_same_component=connect_same_component, batched=batched
+        )
+        res = planner.build(n, np.random.default_rng(7))
+        counters = cspace.env.counters
+        edges = sorted((min(u, v), max(u, v)) for u, v, _w in res.roadmap.edges())
+        return res.stats, (counters.point_checks, counters.segment_checks), edges
+
+    @pytest.mark.parametrize("csc", [True, False])
+    def test_build_matches_sequential(self, box_cspace, csc):
+        from dataclasses import asdict
+
+        from repro.cspace import EuclideanCSpace
+        from repro.geometry import Environment
+
+        env2 = Environment(
+            box_cspace.env.bounds, list(box_cspace.env.obstacles), name="copy"
+        )
+        ref = self._build(box_cspace, batched=False, connect_same_component=csc)
+        fast = self._build(
+            EuclideanCSpace(env2), batched=True, connect_same_component=csc
+        )
+        assert asdict(ref[0]) == asdict(fast[0])
+        assert ref[1] == fast[1]
+        assert ref[2] == fast[2]
+
+    @pytest.mark.parametrize("csc", [True, False])
+    def test_build_matches_sequential_3d(self, medcube_cspace, csc):
+        from dataclasses import asdict
+
+        from repro.cspace import EuclideanCSpace
+        from repro.geometry import med_cube
+
+        ref = self._build(medcube_cspace, batched=False, connect_same_component=csc)
+        fast = self._build(
+            EuclideanCSpace(med_cube()), batched=True, connect_same_component=csc
+        )
+        assert asdict(ref[0]) == asdict(fast[0])
+        assert ref[1] == fast[1]
+        assert ref[2] == fast[2]
+
+    @pytest.mark.parametrize("csc", [True, False])
+    def test_connect_roadmaps_matches_sequential(self, box_cspace, csc):
+        from dataclasses import asdict
+
+        def run(batched):
+            planner = PRM(
+                box_cspace, k=3, connect_same_component=csc, batched=batched
+            )
+            rng = np.random.default_rng(3)
+            left = planner.build(30, rng, within=AABB([-5, -5], [-1.5, 5]))
+            right = planner.build(
+                30, rng, within=AABB([1.5, -5], [5, 5]), id_base=1 << 20
+            )
+            left.roadmap.merge(right.roadmap)
+            ids, _ = left.roadmap.configs_array()
+            ids_a = ids[ids < (1 << 20)]
+            ids_b = ids[ids >= (1 << 20)]
+            stats = planner.connect_roadmaps(left.roadmap, ids_a, ids_b, k=3)
+            edges = sorted(
+                (min(u, v), max(u, v)) for u, v, _w in left.roadmap.edges()
+            )
+            return asdict(stats), edges
+
+        ref_stats, ref_edges = run(False)
+        fast_stats, fast_edges = run(True)
+        assert ref_stats == fast_stats
+        assert ref_edges == fast_edges
+
+    def test_fail_fast_same_verdicts_fewer_checks(self, box_cspace):
+        from dataclasses import asdict
+
+        ref = PRM(box_cspace, k=5, batched=True, fail_fast=False).build(
+            100, np.random.default_rng(11)
+        )
+        ff = PRM(box_cspace, k=5, batched=True, fail_fast=True).build(
+            100, np.random.default_rng(11)
+        )
+        ref_edges = sorted(
+            (min(u, v), max(u, v)) for u, v, _w in ref.roadmap.edges()
+        )
+        ff_edges = sorted((min(u, v), max(u, v)) for u, v, _w in ff.roadmap.edges())
+        assert ref_edges == ff_edges
+        r, f = asdict(ref.stats), asdict(ff.stats)
+        assert f["lp_checks"] <= r["lp_checks"]
+        for field in ("lp_calls", "lp_successes", "edges_added", "nn_queries"):
+            assert r[field] == f[field]

@@ -189,3 +189,72 @@ def test_union_find_matches_bfs_components(seed):
         if u != v and not rm.has_edge(int(u), int(v)):
             rm.add_edge(int(u), int(v))
     assert rm.num_components_fast == len(rm.connected_components())
+
+
+class TestArrayBackedStorage:
+    def test_configs_of_matches_config(self, rng):
+        rm = Roadmap(3)
+        cfgs = rng.uniform(-1, 1, size=(10, 3))
+        vids = [rm.add_vertex(c) for c in cfgs]
+        got = rm.configs_of([vids[7], vids[2], vids[2]])
+        np.testing.assert_array_equal(got[0], rm.config(vids[7]))
+        np.testing.assert_array_equal(got[1], rm.config(vids[2]))
+        np.testing.assert_array_equal(got[2], rm.config(vids[2]))
+        assert rm.configs_of([]).shape == (0, 3)
+
+    def test_capacity_growth_preserves_data(self, rng):
+        """Adding past the initial capacity one vertex at a time must keep
+        every earlier configuration intact (regression for tiling-style
+        resize bugs)."""
+        rm = Roadmap(2)
+        cfgs = rng.uniform(-5, 5, size=(200, 2))
+        for c in cfgs:
+            rm.add_vertex(c)
+        ids, stored = rm.configs_array()
+        np.testing.assert_array_equal(ids, np.arange(200))
+        np.testing.assert_array_equal(stored, cfgs)
+
+    def test_remove_vertex_swaps_last(self):
+        rm = Roadmap(2)
+        for i in range(4):
+            rm.add_vertex([float(i), 0.0], vid=i)
+        rm.add_edge(0, 1, 1.0)
+        rm.add_edge(1, 2, 1.0)
+        rm.remove_vertex(1)
+        assert not rm.has_vertex(1)
+        assert rm.num_vertices == 3
+        assert rm.num_edges == 0
+        assert not rm.has_edge(0, 1)
+        # Remaining vertices keep their configurations.
+        np.testing.assert_array_equal(rm.config(3), [3.0, 0.0])
+        np.testing.assert_array_equal(rm.config(0), [0.0, 0.0])
+        with pytest.raises(KeyError):
+            rm.remove_vertex(99)
+
+
+class TestMetricAndComponents:
+    def test_metric_supplies_default_weight(self):
+        rm = Roadmap(2, metric=lambda a, b: 42.0)
+        rm.add_vertex([0.0, 0.0], vid=0)
+        rm.add_vertex([3.0, 4.0], vid=1)
+        rm.add_edge(0, 1)
+        assert rm.neighbors(0)[1] == 42.0
+
+    def test_default_weight_is_euclidean(self):
+        rm = Roadmap(2)
+        rm.add_vertex([0.0, 0.0], vid=0)
+        rm.add_vertex([3.0, 4.0], vid=1)
+        rm.add_edge(0, 1)
+        assert rm.neighbors(0)[1] == pytest.approx(5.0)
+
+    def test_component_slot_tracks_component_id(self, rng):
+        rm = Roadmap(2)
+        for i in range(12):
+            rm.add_vertex(rng.uniform(-1, 1, size=2), vid=i)
+        for u, v in [(0, 1), (1, 2), (4, 5), (6, 7), (7, 8)]:
+            rm.add_edge(u, v, 1.0)
+        for a in range(12):
+            for b in range(12):
+                same_by_slot = rm.component_slot(a) == rm.component_slot(b)
+                same_by_id = rm.component_id(a) == rm.component_id(b)
+                assert same_by_slot == same_by_id
