@@ -52,6 +52,7 @@ from .obs import (
     read_jsonl,
     summarize_events,
 )
+from .runtime import Fault, FaultInjector, TaskFailedError
 
 __version__ = "1.1.0"
 
@@ -60,6 +61,9 @@ __all__ = [
     "PlanRequest",
     "PlanReport",
     "plan",
+    "Fault",
+    "FaultInjector",
+    "TaskFailedError",
     "Tracer",
     "NullTracer",
     "MemorySink",

@@ -55,7 +55,8 @@ from .obs.tracer import active
 from .planners.prm import PRM
 from .planners.roadmap import Roadmap
 from .planners.rrt import RRT
-from .runtime.local_pool import PoolResult, run_tasks_parallel
+from .runtime.faults import FaultInjector
+from .runtime.local_pool import FAILURE_POLICIES, PoolResult, run_tasks_parallel
 from .subdivision.radial import RadialSubdivision
 from .subdivision.uniform import UniformSubdivision
 
@@ -104,6 +105,19 @@ class PlanRequest:
     workers: int = 4
     backend: str = "thread"
     chunksize: int = 1
+    #: failure handling: "fail_fast" (default), "retry" (bounded retries
+    #: with backoff), or "degrade" (abandon exhausted regions and return
+    #: a partial roadmap).  Applies to both execution modes — local runs
+    #: honour the policy exactly; the simulator always degrades (it
+    #: studies failure, it does not die of it).
+    failure_policy: str = "fail_fast"
+    max_retries: int = 2
+    #: local execution only: seconds allowed per region before the
+    #: attempt counts as failed (None disables timeouts).
+    task_timeout: "float | None" = None
+    #: deterministic chaos plan (see ``repro.runtime.faults``); None
+    #: (default) injects nothing and costs nothing.
+    fault_injector: "FaultInjector | None" = None
     #: extra keyword arguments forwarded to ``build_*_workload``.
     workload_options: "dict" = field(default_factory=dict)
 
@@ -124,6 +138,15 @@ class PlanRequest:
             raise ValueError("num_pes must be >= 1")
         if self.chunksize < 1:
             raise ValueError("chunksize must be >= 1")
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.failure_policy!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
 
     def resolve_cspace(self) -> ConfigurationSpace:
         env = self.environment
@@ -165,6 +188,27 @@ class PlanReport:
         return self.pool.wall_time if self.pool is not None else 0.0
 
     @property
+    def retries(self) -> int:
+        """Failed attempts that were rescheduled, either execution mode."""
+        if self.pool is not None:
+            return self.pool.retries
+        return self.sim.retries if self.sim is not None else 0
+
+    @property
+    def abandoned_regions(self) -> "list[int]":
+        """Regions given up on under the ``"degrade"`` policy (sorted)."""
+        if self.pool is not None:
+            return list(self.pool.abandoned)
+        return list(self.sim.abandoned) if self.sim is not None else []
+
+    @property
+    def worker_deaths(self) -> int:
+        """Workers (local pool) or PEs (simulator) that died during the run."""
+        if self.pool is not None:
+            return self.pool.worker_deaths
+        return self.sim.worker_deaths if self.sim is not None else 0
+
+    @property
     def metrics(self) -> "dict[str, object] | None":
         """Snapshot of the tracer's metric registry, if one was attached."""
         tr = active(self.request.tracer)
@@ -193,6 +237,12 @@ class PlanReport:
                     f"slowest region: #{slowest[0]} at {slowest[1]:.3f}s "
                     f"across {self.pool.workers} workers"
                 )
+        if self.retries or self.abandoned_regions or self.worker_deaths:
+            lines.append(
+                f"failures: {self.retries} retries, "
+                f"{len(self.abandoned_regions)} abandoned regions, "
+                f"{self.worker_deaths} worker deaths"
+            )
         ts = self.trace_summary()
         if ts is not None:
             lines += ["", format_summary(ts)]
@@ -221,6 +271,8 @@ def plan(request: PlanRequest) -> PlanReport:
             steal_chunk=request.steal_chunk,
             tracer=request.tracer,
             initial_partitioner=request.partitioner,
+            fault_injector=request.fault_injector,
+            max_retries=request.max_retries,
         )
     else:
         root = _default_root(cspace, request.seed)
@@ -240,6 +292,8 @@ def plan(request: PlanRequest) -> PlanReport:
             steal_chunk=request.steal_chunk,
             tracer=request.tracer,
             initial_partitioner=request.partitioner,
+            fault_injector=request.fault_injector,
+            max_retries=request.max_retries,
         )
     return PlanReport(
         request=request,
@@ -360,7 +414,15 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
         backend=request.backend,
         chunksize=request.chunksize,
         tracer=request.tracer,
+        failure_policy=request.failure_policy,
+        max_retries=request.max_retries,
+        task_timeout=request.task_timeout,
+        fault_injector=request.fault_injector,
+        retry_seed=request.seed,
     )
+    # Under "degrade" abandoned regions are simply absent from the merge:
+    # regional roadmaps are independent subproblems, so the survivors
+    # stitch into a valid (if sparser) roadmap.
     merged = Roadmap(cspace.dim)
     for rid in sorted(pool.results):
         merged.merge(pool.results[rid])

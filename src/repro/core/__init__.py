@@ -37,7 +37,13 @@ from .weights import (
     rrt_k_rays_weights,
     uniform_weights,
 )
-from .work_stealing import DiffusivePolicy, HybridPolicy, RandKPolicy, policy_by_name
+from .work_stealing import (
+    POLICY_NAMES,
+    DiffusivePolicy,
+    HybridPolicy,
+    RandKPolicy,
+    policy_by_name,
+)
 
 __all__ = [
     "PhaseBreakdown",
@@ -74,5 +80,6 @@ __all__ = [
     "DiffusivePolicy",
     "HybridPolicy",
     "RandKPolicy",
+    "POLICY_NAMES",
     "policy_by_name",
 ]

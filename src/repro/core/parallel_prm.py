@@ -44,6 +44,7 @@ from ..obs.tracer import active
 from ..planners.prm import PRM
 from ..planners.roadmap import Roadmap
 from ..planners.stats import PlannerStats, WorkModel
+from ..runtime.faults import FaultInjector
 from ..runtime.pgraph import PGraphView
 from ..runtime.simulator import WorkStealingSimulator, run_static_phase
 from ..runtime.stats import SimResult
@@ -385,6 +386,8 @@ def simulate_prm(
     rng_seed: int = 12345,
     tracer: "Tracer | None" = None,
     initial_partitioner: "str | None" = None,
+    fault_injector: "FaultInjector | None" = None,
+    max_retries: int = 2,
 ) -> PRMRunResult:
     """Replay the workload on a virtual machine of ``num_pes`` PEs.
 
@@ -398,6 +401,11 @@ def simulate_prm(
     ``initial_partitioner`` overrides the paper's naive block mapping for
     the *initial* distribution: ``"block"`` (default), ``"greedy"``
     (unweighted LPT) or ``"rcb"`` (recursive coordinate bisection).
+
+    ``fault_injector`` (optional) injects deterministic failures into the
+    connection phase — see :class:`repro.runtime.faults.FaultInjector`;
+    abandoned regions keep their pre-phase owner for the downstream
+    connection accounting.
     """
     topology = topology or ClusterTopology(num_pes)
     if topology.num_pes != num_pes:
@@ -456,7 +464,14 @@ def simulate_prm(
         return connect_costs[task]
 
     if steal_policy is None:
-        sim = run_static_phase(topology, executor, connect_assignment, tracer=sim_tracer)
+        sim = run_static_phase(
+            topology,
+            executor,
+            connect_assignment,
+            tracer=sim_tracer,
+            fault_injector=fault_injector,
+            max_retries=max_retries,
+        )
     else:
         simulator = WorkStealingSimulator(
             topology,
@@ -465,6 +480,8 @@ def simulate_prm(
             steal_chunk=steal_chunk,
             rng=np.random.default_rng(rng_seed),
             tracer=sim_tracer,
+            fault_injector=fault_injector,
+            max_retries=max_retries,
         )
         sim = simulator.run(connect_assignment)
         phases.termination = detection_delay_tree(topology)
@@ -472,7 +489,8 @@ def simulate_prm(
 
     # Final region ownership after the connection phase (stealing is an
     # ownership transfer, so stolen regions now live on the thief).
-    final_owner = dict(sim.executed_by)
+    # Abandoned regions (fault injection) keep their pre-phase owner.
+    final_owner = {**connect_assignment, **sim.executed_by}
 
     # Phase 4: region connection with remote-access accounting.
     region_view = PGraphView("region graph", topology)

@@ -42,6 +42,7 @@ from ..obs.tracer import active
 from ..planners.roadmap import Roadmap
 from ..planners.rrt import RRT
 from ..planners.stats import PlannerStats, WorkModel
+from ..runtime.faults import FaultInjector
 from ..runtime.simulator import WorkStealingSimulator, run_static_phase
 from ..runtime.stats import SimResult
 from ..runtime.termination import detection_delay_tree
@@ -364,6 +365,8 @@ def simulate_rrt(
     rng_seed: int = 54321,
     tracer: "Tracer | None" = None,
     initial_partitioner: "str | None" = None,
+    fault_injector: "FaultInjector | None" = None,
+    max_retries: int = 2,
 ) -> RRTRunResult:
     """Replay the RRT workload on a virtual machine.
 
@@ -434,7 +437,14 @@ def simulate_rrt(
         return grow_costs[task]
 
     if steal_policy is None:
-        sim = run_static_phase(topology, executor, grow_assignment, tracer=sim_tracer)
+        sim = run_static_phase(
+            topology,
+            executor,
+            grow_assignment,
+            tracer=sim_tracer,
+            fault_injector=fault_injector,
+            max_retries=max_retries,
+        )
     else:
         simulator = WorkStealingSimulator(
             topology,
@@ -443,12 +453,15 @@ def simulate_rrt(
             steal_chunk=steal_chunk,
             rng=np.random.default_rng(rng_seed),
             tracer=sim_tracer,
+            fault_injector=fault_injector,
+            max_retries=max_retries,
         )
         sim = simulator.run(grow_assignment)
         phases.termination = detection_delay_tree(topology)
     phases.branch_growth = sim.makespan
 
-    final_owner = dict(sim.executed_by)
+    # Abandoned branches (fault injection) keep their pre-phase owner.
+    final_owner = {**grow_assignment, **sim.executed_by}
     conn_loads = np.zeros(num_pes)
     remote_reads = 0
     for adj in workload.adjacency_work:

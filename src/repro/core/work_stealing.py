@@ -14,6 +14,13 @@ Policies plug into
 :class:`~repro.runtime.simulator.WorkStealingSimulator`; the round index
 it passes distinguishes a first attempt from retries after a fully
 failed round, which is what HYBRID keys its fallback on.
+
+Policies are fault-oblivious by design: under fault injection the
+simulator lets a thief pick a dead PE as victim and answers with an
+immediate failure reply (death detection), so selection statistics stay
+comparable between healthy and degraded machines — DIFFUSIVE pays for a
+dead mesh neighbour every round, while RAND-K merely wastes one of its
+``k`` probes, which is exactly the policy difference worth studying.
 """
 
 from __future__ import annotations
@@ -22,7 +29,17 @@ import numpy as np
 
 from ..runtime.topology import ClusterTopology
 
-__all__ = ["RandKPolicy", "DiffusivePolicy", "HybridPolicy", "policy_by_name"]
+__all__ = [
+    "POLICY_NAMES",
+    "RandKPolicy",
+    "DiffusivePolicy",
+    "HybridPolicy",
+    "policy_by_name",
+]
+
+#: Canonical strategy names accepted by :func:`policy_by_name`, in the
+#: paper's order — the iteration set for policy-comparison studies.
+POLICY_NAMES = ("rand-k", "rand-8", "diffusive", "hybrid")
 
 
 class RandKPolicy:

@@ -25,8 +25,11 @@ from .events import (
     EV_STEAL_REPLY,
     EV_STEAL_REQUEST,
     EV_STEAL_TRANSFER,
+    EV_TASK_ABANDONED,
     EV_TASK_END,
+    EV_TASK_RETRY,
     EV_TASK_START,
+    EV_WORKER_DEATH,
     PHASE_CONNECT,
     PHASE_CONSTRUCT,
     PHASE_GENERATE,
@@ -60,6 +63,9 @@ __all__ = [
     "PHASE_NAMES",
     "EV_TASK_START",
     "EV_TASK_END",
+    "EV_TASK_RETRY",
+    "EV_TASK_ABANDONED",
+    "EV_WORKER_DEATH",
     "EV_STEAL_REQUEST",
     "EV_STEAL_REPLY",
     "EV_STEAL_TRANSFER",

@@ -19,8 +19,11 @@ from .events import (
     EV_STEAL_REPLY,
     EV_STEAL_REQUEST,
     EV_STEAL_TRANSFER,
+    EV_TASK_ABANDONED,
     EV_TASK_END,
+    EV_TASK_RETRY,
     EV_TASK_START,
+    EV_WORKER_DEATH,
     PHASE_NAMES,
     SPAN_BEGIN,
     SPAN_END,
@@ -51,6 +54,13 @@ class TraceSummary:
     steal_fails: int = 0
     tasks_migrated: int = 0
     per_pe_steal_requests: "dict[int, int]" = field(default_factory=dict)
+    # -- fault tolerance ---------------------------------------------------
+    task_retries: int = 0
+    tasks_abandoned: int = 0
+    worker_deaths: int = 0
+    #: retry reason -> count (e.g. "fault", "timeout", "worker_death").
+    retry_reasons: "dict[str, int]" = field(default_factory=dict)
+    abandoned_tasks: "list[int]" = field(default_factory=list)
     # -- other point events ------------------------------------------------
     remote_accesses: int = 0
     repartition_decisions: "list[dict]" = field(default_factory=list)
@@ -108,6 +118,17 @@ def summarize_events(events: "list[Event]") -> TraceSummary:
             s.steal_fails += 1
         elif ev.name == EV_STEAL_REPLY:
             pass  # request/transfer/fail already carry the tallies
+        elif ev.name == EV_TASK_RETRY:
+            s.task_retries += 1
+            reason = str(ev.attrs.get("reason", "unknown"))
+            s.retry_reasons[reason] = s.retry_reasons.get(reason, 0) + 1
+        elif ev.name == EV_TASK_ABANDONED:
+            s.tasks_abandoned += 1
+            task = ev.attrs.get("task")
+            if task is not None:
+                s.abandoned_tasks.append(int(task))
+        elif ev.name == EV_WORKER_DEATH:
+            s.worker_deaths += 1
         elif ev.name == EV_REMOTE_ACCESS:
             s.remote_accesses += int(ev.attrs.get("count", 1))
         elif ev.name == EV_REPARTITION_DECISION:
@@ -169,6 +190,22 @@ def format_summary(s: TraceSummary) -> str:
                 "Steal distribution (Fig. 9, percentiles by stolen count)",
                 format_table(["percentile", "stolen", "non-stolen"], steal_rows),
             ]
+    if s.task_retries or s.tasks_abandoned or s.worker_deaths:
+        lines += [
+            "",
+            "Failures",
+            format_table(
+                ["retries", "abandoned", "worker deaths"],
+                [[s.task_retries, s.tasks_abandoned, s.worker_deaths]],
+            ),
+        ]
+        if s.retry_reasons:
+            reasons = ", ".join(
+                f"{r}: {n}" for r, n in sorted(s.retry_reasons.items())
+            )
+            lines.append(f"retry reasons — {reasons}")
+        if s.abandoned_tasks:
+            lines.append(f"abandoned tasks: {sorted(s.abandoned_tasks)}")
     if s.remote_accesses:
         lines.append(f"\nRemote accesses: {s.remote_accesses}")
     for d in s.repartition_decisions:

@@ -1,6 +1,16 @@
 """Simulated distributed-memory runtime (the STAPL stand-in)."""
 
-from .local_pool import PoolResult, run_tasks_parallel
+from .faults import (
+    FAULT_CRASH,
+    FAULT_HANG,
+    FAULT_RAISE,
+    Fault,
+    FaultInjector,
+    InjectedFault,
+    TaskFailedError,
+    WorkerCrash,
+)
+from .local_pool import FAILURE_POLICIES, PoolResult, run_tasks_parallel
 from .pgraph import AccessStats, PGraphView
 from .simulator import StealPolicy, WorkStealingSimulator, run_static_phase
 from .stats import PEStats, SimResult
@@ -8,6 +18,15 @@ from .termination import TokenRingDetector, detection_delay, detection_delay_tre
 from .topology import ClusterTopology, mesh_shape_for
 
 __all__ = [
+    "FAULT_CRASH",
+    "FAULT_HANG",
+    "FAULT_RAISE",
+    "Fault",
+    "FaultInjector",
+    "InjectedFault",
+    "TaskFailedError",
+    "WorkerCrash",
+    "FAILURE_POLICIES",
     "PoolResult",
     "run_tasks_parallel",
     "AccessStats",

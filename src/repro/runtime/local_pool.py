@@ -18,32 +18,100 @@ the process boundary once per worker rather than once per task.
 For convenience a threads backend is also provided — with NumPy doing the
 heavy lifting inside collision checks, threads get real speedups despite
 the GIL.
+
+Fault tolerance
+---------------
+Regions are independent subproblems, so a failed or lost regional planner
+can be re-run anywhere without perturbing the others — the shared-memory
+analogue of the paper's ownership transfer on steal.  The dispatcher
+supports three failure policies:
+
+* ``"fail_fast"`` (default) — the first failure propagates.
+* ``"retry"`` — failed tasks are retried up to ``max_retries`` times with
+  exponential backoff plus deterministic per-task jitter; exhaustion
+  raises :class:`~repro.runtime.faults.TaskFailedError`.
+* ``"degrade"`` — like ``"retry"``, but exhausted tasks are *abandoned*:
+  the run completes and :class:`PoolResult` lists them in ``abandoned``.
+
+Per-task timeouts (``task_timeout``) bound hung tasks: an expired
+submission counts as a failed attempt for every unfinished task it
+carried and is re-dispatched under the active policy.  Dead workers are
+detected (a broken process pool, or a :class:`WorkerCrash` on the thread
+backend); the pool is rebuilt and the in-flight regions re-dispatched to
+surviving workers.  A deterministic
+:class:`~repro.runtime.faults.FaultInjector` can inject failures for
+testing; with no injector, no timeout and ``fail_fast`` the original
+zero-bookkeeping dispatch loop runs — fault hooks cost nothing on the
+default path.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from ..obs.events import EV_TASK_END, EV_TASK_START
+import numpy as np
+
+from ..obs.events import (
+    EV_TASK_ABANDONED,
+    EV_TASK_END,
+    EV_TASK_RETRY,
+    EV_TASK_START,
+    EV_WORKER_DEATH,
+)
 from ..obs.tracer import active
+from .faults import (
+    FAULT_CRASH,
+    FAULT_HANG,
+    FAULT_RAISE,
+    FaultInjector,
+    InjectedFault,
+    TaskFailedError,
+    WorkerCrash,
+)
 
 if TYPE_CHECKING:
     from ..obs.tracer import Tracer
 
-__all__ = ["PoolResult", "run_tasks_parallel"]
+__all__ = ["FAILURE_POLICIES", "PoolResult", "run_tasks_parallel"]
+
+FAILURE_POLICIES = ("fail_fast", "retry", "degrade")
 
 
 @dataclass
 class PoolResult:
-    """Results plus wall-clock accounting of a parallel run."""
+    """Results plus wall-clock and failure accounting of a parallel run."""
 
     results: "dict[int, object]"
     wall_time: float
+    #: duration of the *successful* attempt only — failed attempts never
+    #: pollute bench numbers (they are visible via ``attempts``).
     per_task_time: "dict[int, float]"
     workers: int
+    #: task id -> number of attempts consumed (1 = first try succeeded).
+    attempts: "dict[int, int]" = field(default_factory=dict)
+    #: tasks given up on under the ``"degrade"`` policy, sorted.
+    abandoned: "list[int]" = field(default_factory=list)
+    #: failed attempts that were rescheduled.
+    retries: int = 0
+    #: dead workers detected (process deaths, or modelled thread crashes).
+    worker_deaths: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when no task was abandoned."""
+        return not self.abandoned
 
     def slowest_task(self) -> "tuple[int, float] | None":
         """The (task id, duration) that took longest; ``None`` if no tasks ran."""
@@ -53,13 +121,16 @@ class PoolResult:
         return task, self.per_task_time[task]
 
 
-# The worker-side task callable, installed once per process by _pool_init.
+# The worker-side task callable and fault plan, installed once per process
+# by _pool_init.
 _WORKER_FN: "Callable[[int], object] | None" = None
+_WORKER_INJECTOR: "FaultInjector | None" = None
 
 
-def _pool_init(fn: Callable[[int], object]) -> None:
-    global _WORKER_FN
+def _pool_init(fn: Callable[[int], object], injector: "FaultInjector | None" = None) -> None:
+    global _WORKER_FN, _WORKER_INJECTOR
     _WORKER_FN = fn
+    _WORKER_INJECTOR = injector
 
 
 def _run_chunk(
@@ -79,6 +150,57 @@ def _run_chunk_shipped(task_ids: "tuple[int, ...]") -> "list[tuple[int, object, 
     return _run_chunk(_WORKER_FN, task_ids)
 
 
+def _run_attempts(
+    fn: Callable[[int], object],
+    entries: "tuple[tuple[int, int], ...]",
+    injector: "FaultInjector | None",
+    process_worker: bool,
+) -> "list[tuple[int, int, bool, object, float]]":
+    """Run ``(task, attempt)`` entries, reporting per-task outcomes.
+
+    Returns ``(task, attempt, ok, payload, duration)`` rows where
+    ``payload`` is the result on success or a ``repr`` of the failure.
+    A crash fault kills the worker process outright (process backend) or
+    raises :class:`WorkerCrash` out of the chunk (thread backend) — in
+    both cases the dispatcher loses the whole chunk, exactly as it would
+    to a real worker death.
+    """
+    out: "list[tuple[int, int, bool, object, float]]" = []
+    for tid, attempt in entries:
+        t0 = time.perf_counter()
+        try:
+            if injector is not None:
+                fault = injector.poll(tid, attempt)
+                if fault is not None:
+                    if fault.kind == FAULT_CRASH:
+                        if process_worker:
+                            os._exit(3)
+                        raise WorkerCrash(
+                            f"injected crash at task {tid} attempt {attempt}"
+                        )
+                    if fault.kind == FAULT_HANG:
+                        time.sleep(fault.hang)
+                    elif fault.kind == FAULT_RAISE:
+                        raise InjectedFault(
+                            f"injected fault: task {tid} attempt {attempt}"
+                        )
+            value = fn(tid)
+        except WorkerCrash:
+            raise
+        except Exception as exc:  # transient task failure: report, move on
+            out.append((tid, attempt, False, repr(exc), time.perf_counter() - t0))
+            continue
+        out.append((tid, attempt, True, value, time.perf_counter() - t0))
+    return out
+
+
+def _run_attempts_shipped(
+    entries: "tuple[tuple[int, int], ...]",
+) -> "list[tuple[int, int, bool, object, float]]":
+    assert _WORKER_FN is not None, "worker initializer did not run"
+    return _run_attempts(_WORKER_FN, entries, _WORKER_INJECTOR, process_worker=True)
+
+
 def run_tasks_parallel(
     fn: Callable[[int], object],
     task_ids: "list[int]",
@@ -87,6 +209,13 @@ def run_tasks_parallel(
     window: int | None = None,
     chunksize: int = 1,
     tracer: "Tracer | None" = None,
+    failure_policy: str = "fail_fast",
+    max_retries: int = 2,
+    task_timeout: "float | None" = None,
+    backoff_base: float = 0.05,
+    backoff_jitter: float = 0.5,
+    fault_injector: "FaultInjector | None" = None,
+    retry_seed: int = 0,
 ) -> PoolResult:
     """Execute ``fn(task_id)`` for every task with dynamic dispatch.
 
@@ -112,7 +241,29 @@ def run_tasks_parallel(
         / ``task_end`` point events (timestamps relative to pool start) and
         a ``task_time`` histogram.  Starts are reconstructed from measured
         durations on the dispatcher thread — tasks within a chunk are
-        assumed back-to-back.  ``None`` (default) emits nothing.
+        assumed back-to-back.  Under fault tolerance it additionally emits
+        ``task_retry`` / ``task_abandoned`` / ``worker_death`` points.
+        ``None`` (default) emits nothing.
+    failure_policy:
+        ``"fail_fast"`` (default), ``"retry"`` or ``"degrade"`` — see the
+        module docstring.  With the default policy, no timeout and no
+        injector, failures propagate as the task's original exception (the
+        zero-overhead fast path); otherwise exhausted tasks raise
+        :class:`TaskFailedError`.
+    max_retries:
+        Retry budget per task for ``"retry"`` / ``"degrade"``.
+    task_timeout:
+        Seconds allowed per task; a submission of *k* tasks expires after
+        ``k * task_timeout`` and every unfinished task in it counts one
+        failed attempt.  ``None`` (default) disables timeouts.
+    backoff_base, backoff_jitter:
+        Retry *n* waits ``backoff_base * 2**(n-1) * (1 + jitter * u)``
+        where ``u`` is a deterministic per-``(task, attempt)`` uniform
+        draw seeded by ``retry_seed`` — runs with the same seed back off
+        identically regardless of scheduling order.
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` for chaos
+        testing; ``None`` (default) costs nothing.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -120,13 +271,63 @@ def run_tasks_parallel(
         raise ValueError("chunksize must be >= 1")
     if backend not in ("thread", "process"):
         raise ValueError("backend must be 'thread' or 'process'")
+    if failure_policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"failure_policy must be one of {FAILURE_POLICIES}, got {failure_policy!r}"
+        )
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError("task_timeout must be positive")
     window = window or 2 * workers
+    resilient = (
+        fault_injector is not None
+        or failure_policy != "fail_fast"
+        or task_timeout is not None
+    )
+    if resilient:
+        return _run_resilient(
+            fn,
+            list(task_ids),
+            workers=workers,
+            backend=backend,
+            window=window,
+            chunksize=chunksize,
+            tracer=tracer,
+            failure_policy=failure_policy,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            backoff_base=backoff_base,
+            backoff_jitter=backoff_jitter,
+            fault_injector=fault_injector,
+            retry_seed=retry_seed,
+        )
+    return _run_simple(
+        fn,
+        list(task_ids),
+        workers=workers,
+        backend=backend,
+        window=window,
+        chunksize=chunksize,
+        tracer=tracer,
+    )
+
+
+def _run_simple(
+    fn: Callable[[int], object],
+    tasks: "list[int]",
+    workers: int,
+    backend: str,
+    window: int,
+    chunksize: int,
+    tracer: "Tracer | None",
+) -> PoolResult:
+    """The original fast path: no retry bookkeeping, no timeout checks."""
     tr = active(tracer)
     results: "dict[int, object]" = {}
     per_task: "dict[int, float]" = {}
     pending = set()
 
-    tasks = list(task_ids)
     chunks = [tuple(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)]
     it = iter(chunks)
 
@@ -154,22 +355,7 @@ def run_tasks_parallel(
             for fut in done:
                 chunk_out = fut.result()
                 end_ts = time.perf_counter() - t0
-                # Completion is observed here on the dispatcher thread;
-                # per-task stamps are reconstructed from the durations,
-                # walking the chunk backwards from its observed end.
-                ts = end_ts
-                stamps = []
-                for task_id, out, dt in reversed(chunk_out):
-                    stamps.append((task_id, max(ts - dt, 0.0), ts, dt))
-                    ts -= dt
-                for task_id, out, dt in chunk_out:
-                    results[task_id] = out
-                    per_task[task_id] = dt
-                if tr is not None:
-                    for task_id, start_ts, stop_ts, dt in reversed(stamps):
-                        tr.point(EV_TASK_START, ts=start_ts, task=task_id, cost=dt)
-                        tr.point(EV_TASK_END, ts=stop_ts, task=task_id, cost=dt)
-                        tr.metrics.histogram("task_time").observe(dt)
+                _record_chunk(chunk_out, end_ts, results, per_task, tr)
                 nxt = next(it, None)
                 if nxt is not None:
                     pending.add(submit(nxt))
@@ -177,4 +363,283 @@ def run_tasks_parallel(
     if tr is not None:
         tr.metrics.gauge("pool_wall_time").set(wall)
         tr.metrics.counter("pool_tasks").inc(len(results))
-    return PoolResult(results, wall, per_task, workers)
+    return PoolResult(
+        results, wall, per_task, workers, attempts=dict.fromkeys(results, 1)
+    )
+
+
+def _record_chunk(chunk_out, end_ts, results, per_task, tr) -> None:
+    """Store a completed chunk's ``(task, value, duration)`` rows and emit
+    reconstructed task events: completion is observed on the dispatcher
+    thread, so per-task stamps walk the chunk backwards from its end."""
+    ts = end_ts
+    stamps = []
+    for task_id, out, dt in reversed(chunk_out):
+        stamps.append((task_id, max(ts - dt, 0.0), ts, dt))
+        ts -= dt
+    for task_id, out, dt in chunk_out:
+        results[task_id] = out
+        per_task[task_id] = dt
+    if tr is not None:
+        for task_id, start_ts, stop_ts, dt in reversed(stamps):
+            tr.point(EV_TASK_START, ts=start_ts, task=task_id, cost=dt)
+            tr.point(EV_TASK_END, ts=stop_ts, task=task_id, cost=dt)
+            tr.metrics.histogram("task_time").observe(dt)
+
+
+@dataclass
+class _Submission:
+    """One in-flight future's bookkeeping."""
+
+    entries: "tuple[tuple[int, int], ...]"  # (task, attempt) pairs
+    deadline: "float | None"  # dispatcher-clock expiry, None = never
+
+
+def _retry_jitter(task: int, attempt: int, seed: int) -> float:
+    """Deterministic uniform draw in [0, 1) — a pure function of its args."""
+    return float(
+        np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(task, attempt))
+        ).random()
+    )
+
+
+def _run_resilient(
+    fn: Callable[[int], object],
+    tasks: "list[int]",
+    workers: int,
+    backend: str,
+    window: int,
+    chunksize: int,
+    tracer: "Tracer | None",
+    failure_policy: str,
+    max_retries: int,
+    task_timeout: "float | None",
+    backoff_base: float,
+    backoff_jitter: float,
+    fault_injector: "FaultInjector | None",
+    retry_seed: int,
+) -> PoolResult:
+    """The fault-tolerant dispatcher: timeouts, retries, re-dispatch."""
+    tr = active(tracer)
+    allowed_retries = max_retries if failure_policy in ("retry", "degrade") else 0
+    results: "dict[int, object]" = {}
+    per_task: "dict[int, float]" = {}
+    attempts: "dict[int, int]" = {}
+    abandoned: "list[int]" = []
+    unresolved = set(tasks)
+    retries = 0
+    deaths = 0
+    seq = itertools.count()
+    # Min-heap of (ready_time, seq, task, attempt) waiting out their backoff.
+    retry_heap: "list[tuple[float, int, int, int]]" = []
+    # Entries displaced by a worker death, re-dispatched attempt-intact.
+    requeue: "list[tuple[int, int]]" = []
+    in_flight: "dict[object, _Submission]" = {}
+
+    fresh = iter(
+        tuple(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)
+    )
+
+    process = backend == "process"
+    pool: "ProcessPoolExecutor | ThreadPoolExecutor"
+
+    def make_pool():
+        if process:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_init,
+                initargs=(fn, fault_injector),
+            )
+        return ThreadPoolExecutor(max_workers=workers)
+
+    pool = make_pool()
+    t0 = time.perf_counter()
+
+    def now() -> float:
+        return time.perf_counter() - t0
+
+    def submit(entries: "tuple[tuple[int, int], ...]") -> None:
+        deadline = None if task_timeout is None else now() + task_timeout * len(entries)
+        if process:
+            fut = pool.submit(_run_attempts_shipped, entries)
+        else:
+            fut = pool.submit(_run_attempts, fn, entries, fault_injector, False)
+        in_flight[fut] = _Submission(entries, deadline)
+
+    def fail_attempt(tid: int, attempt: int, reason: object) -> None:
+        """One attempt of ``tid`` failed; retry, abandon, or raise."""
+        nonlocal retries
+        if tid not in unresolved:
+            return  # already resolved by a competing attempt
+        attempts[tid] = attempt + 1
+        nxt = attempt + 1
+        if nxt <= allowed_retries:
+            retries += 1
+            delay = backoff_base * (2.0 ** (nxt - 1)) * (
+                1.0 + backoff_jitter * _retry_jitter(tid, nxt, retry_seed)
+            )
+            heapq.heappush(retry_heap, (now() + delay, next(seq), tid, nxt))
+            if tr is not None:
+                tr.point(
+                    EV_TASK_RETRY, ts=now(), task=tid, attempt=nxt, reason=str(reason)[:120]
+                )
+        elif failure_policy == "degrade":
+            unresolved.discard(tid)
+            abandoned.append(tid)
+            if tr is not None:
+                tr.point(
+                    EV_TASK_ABANDONED,
+                    ts=now(),
+                    task=tid,
+                    attempts=nxt,
+                    reason=str(reason)[:120],
+                )
+        else:
+            raise TaskFailedError(tid, nxt, reason)
+
+    def on_worker_death(first: _Submission, reason: str) -> None:
+        """Re-dispatch work lost to a dead worker — ownership transfer.
+
+        When the injector's plan identifies the crash culprits, only they
+        consume an attempt and innocent bystanders re-enter dispatch
+        attempt-intact.  A real (un-injected) death has no identifiable
+        culprit, so every lost task is charged — that bounds repeated
+        deaths by the retry budget instead of looping forever.
+        """
+        nonlocal pool, deaths
+        deaths += 1
+        if tr is not None:
+            tr.point(
+                EV_WORKER_DEATH,
+                ts=now(),
+                backend=backend,
+                in_flight=len(in_flight) + 1,
+                reason=reason,
+            )
+        lost = list(first.entries)
+        if process:
+            # A dead process breaks the whole executor: every other
+            # in-flight future is lost too.  Rebuild and re-dispatch.
+            for sub in in_flight.values():
+                lost.extend(sub.entries)
+            in_flight.clear()
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = make_pool()
+        lost = [(tid, a) for tid, a in lost if tid in unresolved]
+        culprits = {
+            (tid, a)
+            for tid, a in lost
+            if fault_injector is not None
+            and (f := fault_injector.poll(tid, a)) is not None
+            and f.kind == FAULT_CRASH
+        }
+        for tid, a in lost:
+            if (tid, a) in culprits or not culprits:
+                fail_attempt(tid, a, "worker_death")
+            else:
+                requeue.append((tid, a))
+
+    def next_entries() -> "tuple[tuple[int, int], ...] | None":
+        """Next submission: displaced work first, then due retries, then
+        fresh chunks — the priority order that drains failure fastest."""
+        while requeue:
+            tid, attempt = requeue.pop(0)
+            if tid in unresolved:
+                return ((tid, attempt),)
+        while retry_heap and retry_heap[0][0] <= now():
+            _, _, tid, attempt = heapq.heappop(retry_heap)
+            if tid in unresolved:
+                return ((tid, attempt),)
+        while True:
+            chunk = next(fresh, None)
+            if chunk is None:
+                return None
+            live = tuple((tid, 0) for tid in chunk if tid in unresolved)
+            if live:
+                return live
+
+    def handle(fut, sub: _Submission) -> None:
+        try:
+            rows = fut.result()
+        except BrokenExecutor:
+            on_worker_death(sub, "process_died")
+            return
+        except WorkerCrash as exc:
+            on_worker_death(sub, str(exc))
+            return
+        end_ts = now()
+        ok_rows = []
+        for tid, attempt, ok, payload, dt in rows:
+            if tid not in unresolved:
+                continue
+            if ok:
+                unresolved.discard(tid)
+                attempts[tid] = attempt + 1
+                ok_rows.append((tid, payload, dt))
+            else:
+                fail_attempt(tid, attempt, payload)
+        if ok_rows:
+            _record_chunk(ok_rows, end_ts, results, per_task, tr)
+
+    try:
+        while unresolved:
+            # Keep the window full.
+            while len(in_flight) < window:
+                entries = next_entries()
+                if entries is None:
+                    break
+                submit(entries)
+            if not in_flight:
+                if retry_heap:
+                    # Nothing running; sleep until the next retry is due.
+                    time.sleep(max(retry_heap[0][0] - now(), 0.0) + 1e-4)
+                    continue
+                break  # nothing running, nothing scheduled: all failed paths taken
+            timeout = None
+            if task_timeout is not None:
+                deadlines = [s.deadline for s in in_flight.values() if s.deadline is not None]
+                if deadlines:
+                    timeout = max(min(deadlines) - now(), 0.0)
+            if retry_heap:
+                until_retry = max(retry_heap[0][0] - now(), 0.0)
+                timeout = until_retry if timeout is None else min(timeout, until_retry)
+            done, _ = wait(in_flight.keys(), timeout=timeout, return_when=FIRST_COMPLETED)
+            for fut in done:
+                sub = in_flight.pop(fut, None)
+                if sub is not None:
+                    handle(fut, sub)
+            # Expire overdue submissions: each unfinished task in one
+            # counts a failed ("timeout") attempt and re-enters dispatch.
+            if task_timeout is not None:
+                t = now()
+                for fut, sub in list(in_flight.items()):
+                    if sub.deadline is not None and t > sub.deadline:
+                        del in_flight[fut]
+                        fut.cancel()
+                        for tid, attempt in sub.entries:
+                            fail_attempt(tid, attempt, "timeout")
+    finally:
+        # Never block on hung workers; cancel whatever never started.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    wall = now()
+    if tr is not None:
+        tr.metrics.gauge("pool_wall_time").set(wall)
+        tr.metrics.counter("pool_tasks").inc(len(results))
+        if retries:
+            tr.metrics.counter("pool_retries").inc(retries)
+        if abandoned:
+            tr.metrics.counter("pool_abandoned").inc(len(abandoned))
+        if deaths:
+            tr.metrics.counter("pool_worker_deaths").inc(deaths)
+    return PoolResult(
+        results,
+        wall,
+        per_task,
+        workers,
+        attempts=attempts,
+        abandoned=sorted(abandoned),
+        retries=retries,
+        worker_deaths=deaths,
+    )

@@ -38,10 +38,14 @@ from ..obs.events import (
     EV_STEAL_REPLY,
     EV_STEAL_REQUEST,
     EV_STEAL_TRANSFER,
+    EV_TASK_ABANDONED,
     EV_TASK_END,
+    EV_TASK_RETRY,
     EV_TASK_START,
+    EV_WORKER_DEATH,
 )
 from ..obs.tracer import active
+from .faults import FAULT_CRASH, FAULT_HANG, FaultInjector
 from .stats import PEStats, SimResult
 from .topology import ClusterTopology
 
@@ -115,6 +119,22 @@ class WorkStealingSimulator:
         events stamped with the simulator's virtual clock, and tallies
         steal/migration counters plus per-PE busy/idle histograms.  The
         default ``None`` emits nothing (zero overhead).
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector`, polled
+        with ``(task, attempt, worker=pe)`` each time a PE starts a task.
+        ``"raise"`` burns the task's cost as ``wasted_time`` and retries
+        it (back of the same deque, so it stays stealable); ``"hang"``
+        adds ``fault.hang`` virtual seconds of cost; ``"crash"`` kills
+        the PE — its queued regions are re-dispatched round-robin to the
+        surviving PEs, paying per-task transfer latency, the exact
+        failure analogue of steal-driven ownership transfer.  Tasks
+        exceeding ``max_retries`` are abandoned (the simulator always
+        degrades — it exists to *study* failures, not to die of them)
+        and reported in ``SimResult.abandoned``.  Dead PEs answer steal
+        requests with an immediate failure reply.  ``None`` (default)
+        costs nothing.
+    max_retries:
+        Per-task retry budget when ``fault_injector`` is set.
     """
 
     def __init__(
@@ -130,6 +150,8 @@ class WorkStealingSimulator:
         offload_service: bool = False,
         rng: np.random.Generator | None = None,
         tracer: "Tracer | None" = None,
+        fault_injector: "FaultInjector | None" = None,
+        max_retries: int = 2,
     ):
         if isinstance(steal_chunk, int) and steal_chunk < 1:
             raise ValueError("integer steal_chunk must be >= 1")
@@ -145,6 +167,10 @@ class WorkStealingSimulator:
         self.max_idle_rounds = max_idle_rounds
         self.offload_service = offload_service
         self.rng = rng or np.random.default_rng(0)
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.fault_injector = fault_injector
+        self.max_retries = max_retries
         #: normalised once: ``None`` means every emission site is one branch.
         self._tr = active(tracer)
 
@@ -177,6 +203,10 @@ class WorkStealingSimulator:
         self._makespan = 0.0
         self._end_time = 0.0
         self._messages = 0
+        self._dead = np.zeros(P, dtype=bool)
+        self._deaths = 0
+        self._attempts: "dict[int, int]" = {}
+        self._abandoned: "list[int]" = []
 
         for p in range(P):
             self._activate(p, 0.0)
@@ -195,6 +225,9 @@ class WorkStealingSimulator:
             makespan=self._makespan,
             end_time=self._end_time,
             total_messages=self._messages,
+            task_attempts=self._attempts,
+            abandoned=sorted(self._abandoned),
+            worker_deaths=self._deaths,
         )
 
     # -- internals ---------------------------------------------------------
@@ -211,6 +244,14 @@ class WorkStealingSimulator:
         for s in self._stats:
             busy.observe(s.work_time)
             idle.observe(max(self._makespan - s.work_time, 0.0))
+        if self.fault_injector is not None:
+            failed = sum(s.attempts_failed for s in self._stats)
+            if failed:
+                m.counter("task_attempts_failed").inc(failed)
+            if self._abandoned:
+                m.counter("tasks_abandoned").inc(len(self._abandoned))
+            if self._deaths:
+                m.counter("worker_deaths").inc(self._deaths)
 
     def _push_event(self, time: float, kind: str, pe: int, payload: object = None) -> None:
         self._seq += 1
@@ -218,14 +259,32 @@ class WorkStealingSimulator:
 
     def _activate(self, pe: int, now: float) -> None:
         """Give PE its next unit of work, or start stealing, or go idle."""
-        if self._busy[pe]:
+        if self._busy[pe] or self._dead[pe]:
             return
         dq = self._deques[pe]
         if dq:
             task = dq.popleft()
+            fault = None
+            if self.fault_injector is not None:
+                attempt = self._attempts.get(task, 0)
+                self._attempts[task] = attempt + 1
+                fault = self.fault_injector.poll(task, attempt, worker=pe)
+                if fault is not None and fault.kind == FAULT_CRASH:
+                    self._kill_pe(pe, now, task)
+                    return
             cost = float(self.executor(task, pe))
             if cost < 0:
                 raise ValueError(f"executor returned negative cost for task {task}")
+            if fault is not None and fault.kind == FAULT_HANG:
+                cost += fault.hang
+            elif fault is not None:  # "raise": burn the cost, then fail
+                st = self._stats[pe]
+                st.wasted_time += cost
+                st.attempts_failed += 1
+                self._busy[pe] = True
+                self._clock[pe] = now + cost
+                self._push_event(now + cost, "task_failed", pe, payload=task)
+                return
             self._busy[pe] = True
             self._executed_by[task] = pe
             self._task_costs[task] = cost
@@ -273,6 +332,103 @@ class WorkStealingSimulator:
             self._service_steal(pe, thief, ev.time)
         self._activate(pe, ev.time)
 
+    # -- fault handling -----------------------------------------------------
+    def _on_task_failed(self, ev: _Event) -> None:
+        """A ``"raise"`` fault fired: the attempt burned its cost for
+        nothing.  Retry goes to the *back* of the PE's own deque — natural
+        backoff behind its queued work, and still stealable by others."""
+        pe, task = ev.pe, ev.payload
+        self._busy[pe] = False
+        if self._attempts[task] <= self.max_retries:
+            if self._tr is not None:
+                self._tr.point(
+                    EV_TASK_RETRY,
+                    ts=ev.time,
+                    pe=pe,
+                    task=task,
+                    attempt=self._attempts[task],
+                    reason="fault",
+                )
+            self._deques[pe].append(task)
+        else:
+            self._abandon(task, ev.time, "retries_exhausted")
+        while self._queued_requests[pe]:
+            thief = self._queued_requests[pe].pop(0)
+            self._service_steal(pe, thief, ev.time)
+        self._activate(pe, ev.time)
+
+    def _kill_pe(self, pe: int, now: float, pending_task: int) -> None:
+        """Crash fault: the PE dies as it picks up ``pending_task``.
+
+        Its queued regions move to the surviving PEs round-robin, paying
+        per-task transfer latency — involuntary ownership transfer, the
+        failure analogue of a steal.  The in-flight task consumed its
+        attempt; queued tasks migrate attempt-intact.
+        """
+        self._dead[pe] = True
+        self._deaths += 1
+        st = self._stats[pe]
+        if self._tr is not None:
+            self._tr.point(EV_WORKER_DEATH, ts=now, pe=pe, task=pending_task)
+        lost = list(self._deques[pe])
+        self._deques[pe].clear()
+        if self._attempts[pending_task] <= self.max_retries:
+            if self._tr is not None:
+                self._tr.point(
+                    EV_TASK_RETRY,
+                    ts=now,
+                    pe=pe,
+                    task=pending_task,
+                    attempt=self._attempts[pending_task],
+                    reason="worker_death",
+                )
+            lost.append(pending_task)
+        else:
+            self._abandon(pending_task, now, "worker_death")
+        # Thieves queued at the dead PE get an immediate failure reply
+        # (death detection), so their rounds complete instead of hanging.
+        while self._queued_requests[pe]:
+            thief = self._queued_requests[pe].pop(0)
+            self._reply_fail(pe, thief, now)
+        st.tasks_lost += len(lost)
+        st.messages_sent += len(lost)
+        self._redispatch_tasks(lost, pe, now)
+
+    def _redispatch_tasks(self, tasks: "list[int]", from_pe: int, now: float) -> None:
+        """Round-robin tasks over surviving PEs, paying transfer latency."""
+        survivors = [p for p in range(self.topology.num_pes) if not self._dead[p]]
+        if not survivors:
+            for t in tasks:
+                self._abandon(t, now, "no_survivors")
+            return
+        for i, t in enumerate(tasks):
+            target = survivors[i % len(survivors)]
+            self._messages += 1
+            delay = self.topology.latency(from_pe, target, payload=1) + self.transfer_cost
+            self._push_event(now + delay, "redispatch", target, payload=t)
+
+    def _on_redispatch(self, ev: _Event) -> None:
+        pe, task = ev.pe, ev.payload
+        if self._dead[pe]:
+            # The chosen survivor died in transit; bounce onward.
+            self._redispatch_tasks([task], pe, ev.time)
+            return
+        self._stolen_marks.add(task)
+        self._deques[pe].append(task)
+        self._activate(pe, ev.time)
+
+    def _abandon(self, task: int, now: float, reason: str) -> None:
+        self._abandoned.append(task)
+        self._remaining -= 1
+        if self._tr is not None:
+            self._tr.point(
+                EV_TASK_ABANDONED,
+                ts=now,
+                task=task,
+                attempts=self._attempts.get(task, 0),
+                reason=reason,
+            )
+
     def _start_steal_round(self, pe: int, now: float) -> None:
         victims = self.steal_policy.select_victims(
             pe, int(self._idle_rounds[pe]), self.topology, self.rng
@@ -297,6 +453,9 @@ class WorkStealingSimulator:
     def _on_steal_request(self, ev: _Event) -> None:
         victim, thief = ev.pe, ev.payload
         self._stats[victim].steal_requests_received += 1
+        if self._dead[victim]:
+            self._reply_fail(victim, thief, ev.time)
+            return
         if self._busy[victim] and not self.offload_service:
             self._queued_requests[victim].append(thief)
             return
@@ -323,14 +482,18 @@ class WorkStealingSimulator:
             delay = self.topology.latency(victim, thief, payload=n) + self.transfer_cost * n
             self._push_event(now + delay, "steal_reply", thief, payload=tasks)
         else:
-            vst.steals_failed += 1
-            vst.messages_sent += 1
-            self._messages += 1
-            if self._tr is not None:
-                self._tr.point(EV_STEAL_FAIL, ts=now, pe=victim, thief=thief)
-            self._push_event(
-                now + self.topology.latency(victim, thief), "steal_reply", thief, payload=[]
-            )
+            self._reply_fail(victim, thief, now)
+
+    def _reply_fail(self, victim: int, thief: int, now: float) -> None:
+        vst = self._stats[victim]
+        vst.steals_failed += 1
+        vst.messages_sent += 1
+        self._messages += 1
+        if self._tr is not None:
+            self._tr.point(EV_STEAL_FAIL, ts=now, pe=victim, thief=thief)
+        self._push_event(
+            now + self.topology.latency(victim, thief), "steal_reply", thief, payload=[]
+        )
 
     def _on_steal_reply(self, ev: _Event) -> None:
         thief = ev.pe
@@ -339,6 +502,12 @@ class WorkStealingSimulator:
         self._pending_replies[thief] -= 1
         if self._tr is not None:
             self._tr.point(EV_STEAL_REPLY, ts=now, pe=thief, tasks=len(tasks))
+        if self._dead[thief]:
+            # The thief died while its request was in flight; the runtime
+            # reclaims the transfer instead of stranding the tasks.
+            if tasks:
+                self._redispatch_tasks(tasks, thief, now)
+            return
         if tasks:
             self._round_found[thief] = True
             self._idle_rounds[thief] = 0
@@ -371,7 +540,16 @@ def run_static_phase(
     executor: Callable[[int, int], float],
     assignment: "dict[int, int]",
     tracer: "Tracer | None" = None,
+    fault_injector: "FaultInjector | None" = None,
+    max_retries: int = 2,
 ) -> SimResult:
     """Execute a phase with no load balancing (the paper's baseline)."""
-    sim = WorkStealingSimulator(topology, executor, steal_policy=None, tracer=tracer)
+    sim = WorkStealingSimulator(
+        topology,
+        executor,
+        steal_policy=None,
+        tracer=tracer,
+        fault_injector=fault_injector,
+        max_retries=max_retries,
+    )
     return sim.run(assignment)

@@ -1,0 +1,186 @@
+"""End-to-end fault tolerance through the plan() facade.
+
+The acceptance scenario for the resilient runtime: a run that loses one
+worker and transiently fails two regions, under ``failure_policy="retry"``,
+must return a :class:`PlanReport` identical to the fault-free run in
+every field except wall-clock and the retry accounting — and the trace
+must tell the failure story via ``python -m repro.obs summarize``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import (
+    Fault,
+    FaultInjector,
+    JsonlSink,
+    PlanRequest,
+    Tracer,
+    plan,
+)
+from repro.runtime import TaskFailedError
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _roadmap_signature(report):
+    rm = report.roadmap
+    ids, cfgs = rm.configs_array()
+    edges = sorted((min(u, v), max(u, v), w) for u, v, w in rm.edges())
+    return list(ids), cfgs.tolist(), edges
+
+
+def _local_request(**kw):
+    defaults = dict(
+        planner="prm",
+        num_regions=12,
+        samples_per_region=4,
+        execution="local",
+        workers=3,
+        seed=7,
+    )
+    defaults.update(kw)
+    return PlanRequest(**defaults)
+
+
+class TestPlanRetryParity:
+    def test_one_crash_two_transients_full_parity(self, tmp_path):
+        clean = plan(_local_request())
+
+        region_ids = sorted(clean.pool.results)
+        injector = FaultInjector(
+            [
+                Fault("crash", task=region_ids[1], attempt=0),
+                Fault("raise", task=region_ids[4], attempt=0),
+                Fault("raise", task=region_ids[8], attempt=0),
+            ]
+        )
+        trace = tmp_path / "chaos.jsonl"
+        tracer = Tracer(sinks=[JsonlSink(trace)])
+        chaotic = plan(
+            _local_request(
+                failure_policy="retry", fault_injector=injector, tracer=tracer
+            )
+        )
+        tracer.close()
+
+        # Field-for-field parity, modulo wall-clock and retry accounting.
+        assert _roadmap_signature(chaotic) == _roadmap_signature(clean)
+        assert chaotic.pool.results.keys() == clean.pool.results.keys()
+        assert chaotic.abandoned_regions == []
+        assert chaotic.pool.complete
+
+        # The accounting tells the injected story exactly.
+        assert chaotic.retries == 3
+        assert chaotic.worker_deaths == 1
+        assert chaotic.pool.attempts[region_ids[4]] == 2
+        assert chaotic.pool.attempts[region_ids[8]] == 2
+        assert "failures: 3 retries, 0 abandoned regions, 1 worker deaths" in (
+            chaotic.summary()
+        )
+
+        # And the trace is legible from the CLI.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summarize", str(trace)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Failures" in proc.stdout
+        assert "worker deaths" in proc.stdout
+        assert "retry reasons" in proc.stdout
+
+    def test_retry_parity_also_holds_for_rrt(self):
+        clean = plan(_local_request(planner="rrt", nodes_per_region=5))
+        rid = sorted(clean.pool.results)[2]
+        chaotic = plan(
+            _local_request(
+                planner="rrt",
+                nodes_per_region=5,
+                failure_policy="retry",
+                fault_injector=FaultInjector([Fault("raise", task=rid, attempt=0)]),
+            )
+        )
+        assert _roadmap_signature(chaotic) == _roadmap_signature(clean)
+        assert chaotic.retries == 1
+
+
+class TestPlanDegrade:
+    def test_abandoned_region_missing_from_merge(self):
+        clean = plan(_local_request())
+        doomed = sorted(clean.pool.results)[3]
+        report = plan(
+            _local_request(
+                failure_policy="degrade",
+                max_retries=1,
+                fault_injector=FaultInjector(
+                    [Fault("raise", task=doomed, attempt=a) for a in range(4)]
+                ),
+            )
+        )
+        assert report.abandoned_regions == [doomed]
+        assert doomed not in report.pool.results
+        # The surviving regions still stitch into a valid roadmap.
+        assert report.roadmap.num_vertices < clean.roadmap.num_vertices
+        assert report.roadmap.num_vertices > 0
+        assert "failures:" in report.summary()
+
+    def test_fail_fast_propagates(self):
+        with pytest.raises(TaskFailedError):
+            plan(
+                _local_request(
+                    fault_injector=FaultInjector([Fault("raise", attempt=0)])
+                )
+            )
+
+
+class TestSimulateModeFaults:
+    def test_simulate_mode_accepts_injector(self):
+        report = plan(
+            PlanRequest(
+                num_regions=64,
+                samples_per_region=4,
+                strategy="rand-8",
+                num_pes=8,
+                seed=3,
+                fault_injector=FaultInjector(rate=0.1, seed=5),
+            )
+        )
+        assert report.sim is not None
+        assert report.retries >= 0
+        assert report.worker_deaths == 0  # rate faults are "raise" only
+
+    def test_simulate_mode_crash_accounted(self):
+        report = plan(
+            PlanRequest(
+                num_regions=32,
+                samples_per_region=4,
+                strategy="rand-8",
+                num_pes=4,
+                seed=3,
+                fault_injector=FaultInjector([Fault("crash", worker=1, attempt=0)]),
+            )
+        )
+        assert report.worker_deaths == 1
+        assert report.abandoned_regions == []
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_policy": "panic"},
+            {"max_retries": -1},
+            {"task_timeout": 0.0},
+        ],
+    )
+    def test_rejects_bad_fault_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            PlanRequest(**kwargs).validate()

@@ -1,0 +1,212 @@
+"""Fault injection in the virtual-time work-stealing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import POLICY_NAMES, policy_by_name
+from repro.obs import (
+    EV_TASK_ABANDONED,
+    EV_TASK_RETRY,
+    EV_WORKER_DEATH,
+    Tracer,
+)
+from repro.runtime import (
+    ClusterTopology,
+    Fault,
+    FaultInjector,
+    WorkStealingSimulator,
+    run_static_phase,
+)
+
+
+def _uniform_executor(cost=10.0):
+    return lambda task, pe: cost
+
+
+class TestTransientFaults:
+    def test_raise_burns_cost_and_retries_on_same_pe(self):
+        topo = ClusterTopology(2)
+        inj = FaultInjector([Fault("raise", task=3, attempt=0)])
+        res = run_static_phase(
+            topo, _uniform_executor(10.0), {t: t % 2 for t in range(6)}, fault_injector=inj
+        )
+        assert res.executed_by == {t: t % 2 for t in range(6)}
+        assert res.task_attempts[3] == 2
+        assert res.retries == 1
+        assert res.abandoned == []
+        assert res.worker_deaths == 0
+        owner = 3 % 2
+        assert res.pe_stats[owner].wasted_time == pytest.approx(10.0)
+        assert res.pe_stats[owner].attempts_failed == 1
+        # Useful work is conserved: wasted time is accounted separately.
+        assert res.total_work() == pytest.approx(60.0)
+
+    def test_hang_fault_stretches_the_task(self):
+        topo = ClusterTopology(1)
+        inj = FaultInjector([Fault("hang", task=0, attempt=0, hang=7.0)])
+        res = run_static_phase(topo, _uniform_executor(10.0), {0: 0, 1: 0}, fault_injector=inj)
+        assert res.task_costs[0] == pytest.approx(17.0)
+        assert res.task_costs[1] == pytest.approx(10.0)
+        assert res.makespan == pytest.approx(27.0)
+        assert res.retries == 0
+
+    def test_retries_exhausted_abandons_and_terminates(self):
+        topo = ClusterTopology(2)
+        inj = FaultInjector([Fault("raise", task=1, attempt=a) for a in range(5)])
+        res = run_static_phase(
+            topo, _uniform_executor(), {t: 0 for t in range(4)}, fault_injector=inj,
+            max_retries=1,
+        )
+        assert res.abandoned == [1]
+        assert 1 not in res.executed_by
+        assert len(res.executed_by) == 3
+        assert res.task_attempts[1] == 2
+        # The simulator is a study tool: it always degrades, never raises.
+        assert res.retries == 1
+
+
+class TestWorkerDeath:
+    def test_crash_redispatches_queue_to_survivors(self):
+        topo = ClusterTopology(3)
+        inj = FaultInjector([Fault("crash", worker=0, attempt=0)])
+        res = run_static_phase(
+            topo, _uniform_executor(5.0), {t: t % 3 for t in range(9)}, fault_injector=inj
+        )
+        assert res.worker_deaths == 1
+        assert res.abandoned == []
+        # PE 0 died picking up its first task: it executed nothing and all
+        # nine tasks still ran, on the survivors.
+        assert res.pe_stats[0].tasks_executed == 0
+        assert set(res.executed_by) == set(range(9))
+        assert set(res.executed_by.values()) <= {1, 2}
+        assert res.pe_stats[0].tasks_lost == 3
+
+    def test_redispatch_pays_transfer_latency(self):
+        topo = ClusterTopology(2)
+        inj = FaultInjector([Fault("crash", worker=0, attempt=0)])
+        clean = run_static_phase(topo, _uniform_executor(5.0), {t: t % 2 for t in range(4)})
+        faulty = run_static_phase(
+            topo, _uniform_executor(5.0), {t: t % 2 for t in range(4)}, fault_injector=inj
+        )
+        assert faulty.makespan > clean.makespan
+
+    def test_all_pes_dead_abandons_everything(self):
+        topo = ClusterTopology(2)
+        inj = FaultInjector([Fault("crash", worker=0), Fault("crash", worker=1)])
+        res = run_static_phase(
+            topo, _uniform_executor(), {t: t % 2 for t in range(6)}, fault_injector=inj
+        )
+        assert res.worker_deaths == 2
+        assert res.executed_by == {}
+        assert sorted(res.abandoned) == list(range(6))
+
+    def test_in_flight_task_consumes_an_attempt(self):
+        topo = ClusterTopology(2)
+        inj = FaultInjector([Fault("crash", worker=0, attempt=0)])
+        res = run_static_phase(
+            topo, _uniform_executor(), {0: 0, 1: 1}, fault_injector=inj
+        )
+        # Task 0 was in PE 0's hands at death: attempt consumed, then
+        # re-run on the survivor.
+        assert res.task_attempts[0] == 2
+        assert res.executed_by[0] == 1
+
+
+class TestFaultsUnderStealing:
+    def _run(self, policy, inj, P=8, tasks=48, seed=0, **kw):
+        topo = ClusterTopology(P, cores_per_node=4)
+        sim = WorkStealingSimulator(
+            topo,
+            _uniform_executor(10.0),
+            steal_policy=policy,
+            rng=np.random.default_rng(seed),
+            fault_injector=inj,
+            **kw,
+        )
+        return sim.run({t: 0 for t in range(tasks)})
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_every_policy_survives_a_crash(self, name):
+        inj = FaultInjector([Fault("crash", worker=2, attempt=0)])
+        res = self._run(policy_by_name(name), inj)
+        assert res.worker_deaths <= 1  # PE 2 only dies if it got work
+        assert res.abandoned == []
+        assert set(res.executed_by) == set(range(48))
+        assert all(res.executed_by[t] != 2 for t in res.executed_by if res.worker_deaths)
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_every_policy_deterministic_under_rate_faults(self, name):
+        inj_args = dict(rate=0.2, seed=7)
+        a = self._run(policy_by_name(name), FaultInjector(**inj_args))
+        b = self._run(policy_by_name(name), FaultInjector(**inj_args))
+        assert a.makespan == b.makespan
+        assert a.executed_by == b.executed_by
+        assert a.task_attempts == b.task_attempts
+        assert a.abandoned == b.abandoned
+
+    def test_dead_victim_answers_steal_with_failure(self):
+        # Everything on PE 0, PE 1 crashes picking up redispatched work is
+        # impossible (it has none) — instead crash a PE *with* work and
+        # let thieves probe it: rounds must complete, not hang.
+        inj = FaultInjector([Fault("crash", worker=0, attempt=0)])
+        res = self._run(policy_by_name("rand-k"), inj)
+        assert res.worker_deaths == 1
+        assert res.abandoned == []
+        assert set(res.executed_by) == set(range(48))
+        assert res.pe_stats[0].tasks_executed == 0
+
+    def test_work_conserved_under_crash(self):
+        # A crash redistributes work, it must not create or destroy it:
+        # every task still runs exactly once somewhere.  (Makespan can go
+        # either way — eager redispatch sometimes beats lazy stealing.)
+        faulty = self._run(
+            policy_by_name("hybrid"),
+            FaultInjector([Fault("crash", worker=1, attempt=0)]),
+        )
+        assert faulty.total_work() == pytest.approx(48 * 10.0)
+        assert sum(s.tasks_executed for s in faulty.pe_stats) == 48
+
+
+class TestFaultObservability:
+    def test_events_and_metrics(self):
+        tr = Tracer()
+        topo = ClusterTopology(2)
+        inj = FaultInjector(
+            [Fault("raise", task=0, attempt=0), Fault("crash", worker=1, attempt=0)]
+        )
+        res = run_static_phase(
+            topo, _uniform_executor(), {t: t % 2 for t in range(4)},
+            tracer=tr, fault_injector=inj,
+        )
+        names = [e.name for e in tr.memory.events]
+        assert EV_TASK_RETRY in names
+        assert EV_WORKER_DEATH in names
+        assert res.worker_deaths == 1
+        assert tr.metrics.counter("worker_deaths").value == 1
+        assert tr.metrics.counter("task_attempts_failed").value >= 1
+
+    def test_abandonment_event(self):
+        tr = Tracer()
+        topo = ClusterTopology(1)
+        inj = FaultInjector([Fault("raise", task=0, attempt=a) for a in range(3)])
+        res = run_static_phase(
+            topo, _uniform_executor(), {0: 0}, tracer=tr,
+            fault_injector=inj, max_retries=1,
+        )
+        assert res.abandoned == [0]
+        assert EV_TASK_ABANDONED in [e.name for e in tr.memory.events]
+        assert tr.metrics.counter("tasks_abandoned").value == 1
+
+
+class TestNoInjectorUnchanged:
+    def test_no_attempt_tracking_without_injector(self):
+        topo = ClusterTopology(2)
+        res = run_static_phase(topo, _uniform_executor(), {t: t % 2 for t in range(4)})
+        assert res.task_attempts == {}
+        assert res.retries == 0
+        assert res.worker_deaths == 0
+        assert res.abandoned == []
+
+    def test_max_retries_validation(self):
+        with pytest.raises(ValueError):
+            WorkStealingSimulator(ClusterTopology(1), _uniform_executor(), max_retries=-1)

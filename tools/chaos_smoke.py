@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI chaos smoke: one chaotic plan() on the process backend.
+
+Runs the acceptance scenario end to end — one worker crash plus two
+transient region failures under ``failure_policy="retry"`` — on the real
+``ProcessPoolExecutor`` backend, verifies parity with the fault-free
+run, and writes the JSON-lines trace to the given path so CI can keep
+it as the failure-story artifact.
+
+Run:  python tools/chaos_smoke.py chaos-trace.jsonl
+"""
+
+import sys
+
+from repro import Fault, FaultInjector, JsonlSink, PlanRequest, Tracer, plan
+
+
+def _request(**kw):
+    defaults = dict(
+        planner="prm",
+        num_regions=12,
+        samples_per_region=4,
+        execution="local",
+        backend="process",
+        workers=3,
+        seed=7,
+    )
+    defaults.update(kw)
+    return PlanRequest(**defaults)
+
+
+def _signature(report):
+    rm = report.roadmap
+    ids, cfgs = rm.configs_array()
+    edges = sorted((min(u, v), max(u, v), round(w, 12)) for u, v, w in rm.edges())
+    return list(ids), cfgs.tolist(), edges
+
+
+def main(trace_path: str) -> int:
+    clean = plan(_request())
+    region_ids = sorted(clean.pool.results)
+    injector = FaultInjector(
+        [
+            Fault("crash", task=region_ids[1], attempt=0),
+            Fault("raise", task=region_ids[4], attempt=0),
+            Fault("raise", task=region_ids[8], attempt=0),
+        ]
+    )
+    tracer = Tracer(sinks=[JsonlSink(trace_path)])
+    try:
+        chaotic = plan(
+            _request(failure_policy="retry", fault_injector=injector, tracer=tracer)
+        )
+    finally:
+        tracer.close()
+
+    problems = []
+    if _signature(chaotic) != _signature(clean):
+        problems.append("chaotic roadmap diverged from the fault-free run")
+    if chaotic.abandoned_regions:
+        problems.append(f"abandoned regions: {chaotic.abandoned_regions}")
+    if chaotic.retries < 2:
+        problems.append(f"expected >=2 retries, saw {chaotic.retries}")
+    if chaotic.worker_deaths < 1:
+        problems.append("expected at least one worker death")
+
+    print(chaotic.summary())
+    if problems:
+        print("CHAOS SMOKE FAILED:", "; ".join(problems), file=sys.stderr)
+        return 1
+    print(f"chaos smoke OK — trace written to {trace_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))
