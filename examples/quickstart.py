@@ -4,8 +4,13 @@ the same problem through the load-balanced parallel PRM on a simulated
 768-core machine — via the one-call ``plan()`` facade, with a tracer
 recording the run.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--quick]
+
+``--quick`` shrinks the problem to CI-smoke scale (seconds, same code
+paths).
 """
+
+import sys
 
 import numpy as np
 
@@ -16,8 +21,11 @@ from repro.geometry import med_cube
 from repro.planners import PRM, RoadmapQuery
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     rng = np.random.default_rng(0)
+    prm_samples = 150 if quick else 600
+    num_regions = 200 if quick else 1500
+    num_pes = 64 if quick else 768
 
     # ------------------------------------------------------------------
     # 1. Sequential planning: PRM + query in the paper's med-cube world.
@@ -27,7 +35,7 @@ def main() -> None:
     cspace = EuclideanCSpace(env)
 
     planner = PRM(cspace, k=6)
-    result = planner.build(600, rng)
+    result = planner.build(prm_samples, rng)
     print(f"Sequential PRM: {result.roadmap} "
           f"({result.stats.lp_calls} local plans, "
           f"{result.stats.sample_attempts} sample attempts)")
@@ -47,7 +55,7 @@ def main() -> None:
     #    768-core machine.  A tracer records the last run as a trace you
     #    can inspect with `python -m repro.obs summarize trace.jsonl`.
     # ------------------------------------------------------------------
-    print("\nParallel PRM on a simulated 768-core machine:")
+    print(f"\nParallel PRM on a simulated {num_pes}-core machine:")
     rows = []
     base = None
     for strategy in ("none", "repartition", "hybrid", "rand-8"):
@@ -56,10 +64,10 @@ def main() -> None:
             PlanRequest(
                 environment="med-cube",
                 planner="prm",
-                num_regions=1500,
+                num_regions=num_regions,
                 samples_per_region=6,
                 strategy=strategy,
-                num_pes=768,
+                num_pes=num_pes,
                 seed=1,
                 tracer=tracer,
             )
@@ -89,4 +97,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

@@ -7,8 +7,13 @@ connection, and the comparison between work stealing (good) and k-rays
 repartitioning (poor — the paper's own conclusion) for this dynamic
 workload.
 
-Run:  python examples/rrt_workspace_exploration.py
+Run:  python examples/rrt_workspace_exploration.py [--quick]
+
+``--quick`` shrinks the problem to CI-smoke scale (seconds, same code
+paths).
 """
+
+import sys
 
 import numpy as np
 
@@ -19,7 +24,9 @@ from repro.geometry import mixed_30_env
 from repro.planners import dijkstra
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
+    num_regions = 64 if quick else 512
+    num_pes = 32 if quick else 128
     env = mixed_30_env()
     print(f"Environment: {env}")
     cspace = EuclideanCSpace(env)
@@ -29,9 +36,9 @@ def main() -> None:
     while not cspace.valid_single(root):
         root = rng.uniform(-3.0, 3.0, 3)
 
-    print("Growing 512 conical RRT branches (real planning)...")
+    print(f"Growing {num_regions} conical RRT branches (real planning)...")
     workload = build_rrt_workload(
-        cspace, root, num_regions=512, nodes_per_region=8, seed=5
+        cspace, root, num_regions=num_regions, nodes_per_region=8, seed=5
     )
     tree = workload.tree
     print(f"  merged tree: {tree}")
@@ -51,11 +58,11 @@ def main() -> None:
     if best is not None:
         print(f"  deepest explored configuration is {best:.1f} units of path away")
 
-    print("\nLoad balancing the branch-growth phase (simulated 128-core run):")
+    print(f"\nLoad balancing the branch-growth phase (simulated {num_pes}-core run):")
     rows = []
     base = None
     for strategy in ("none", "diffusive", "hybrid", "rand-8", "repartition"):
-        run = simulate_rrt(workload, 128, strategy)
+        run = simulate_rrt(workload, num_pes, strategy)
         if base is None:
             base = run.total_time
         rows.append(
@@ -76,4 +83,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

@@ -122,6 +122,7 @@ class PlanRequest:
     workload_options: "dict" = field(default_factory=dict)
 
     def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-range or unknown field."""
         if self.planner not in _PLANNERS:
             raise ValueError(f"planner must be one of {_PLANNERS}, got {self.planner!r}")
         if self.execution not in _EXECUTIONS:
@@ -149,6 +150,8 @@ class PlanRequest:
             raise ValueError("task_timeout must be positive")
 
     def resolve_cspace(self) -> ConfigurationSpace:
+        """Materialise the configuration space (looking the environment up
+        by catalog name when given as a string)."""
         env = self.environment
         if isinstance(env, str):
             env = environments.by_name(env)
@@ -367,6 +370,9 @@ def _rrt_region_task(
         ),
         max_iterations=40 * nodes_per_region,
         id_base=rid << ID_SHIFT,
+        region_predicate_batch=lambda qs, region=region, dims=pos_dims: region.contains_many(
+            np.atleast_2d(np.asarray(qs))[:, dims]
+        ),
     )
     return result.tree
 

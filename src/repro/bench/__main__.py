@@ -31,6 +31,7 @@ _FIGURES = {
 
 
 def main(argv: "list[str]") -> int:
+    """Dispatch to a figure benchmark or the perf suite; 0 on success."""
     if not argv:
         print(__doc__)
         print("Available figures:")

@@ -120,6 +120,8 @@ def rrt_scaling_table(
     strategies: "tuple[str, ...]" = RRT_STRATEGIES,
     tracer: "Tracer | None" = None,
 ) -> "list[ScalingRow]":
+    """RRT twin of :func:`prm_scaling_table`: one row per (PE count,
+    strategy) pair, with speedups relative to the first strategy."""
     rows: "list[ScalingRow]" = []
     for P in pe_counts:
         base = None

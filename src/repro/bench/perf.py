@@ -1,8 +1,10 @@
-"""Benchmark-regression suite for the roadmap-construction hot path.
+"""Benchmark-regression suite for the planner-construction hot paths.
 
-Times the operations the PRM build spends its life in — sequential-vs-
-batched roadmap construction, batched local planning, k-NN, and pool
-scaling — on fixed seeds, and writes the measurements to a JSON file
+Times the operations the PRM and RRT builds spend their lives in —
+sequential-vs-batched roadmap construction, sequential-vs-batched RRT
+growth (plain med-cube growth and the radial-subdivision workload on a
+Fig. 10 environment), batched local planning, k-NN, and pool scaling —
+on fixed seeds, and writes the measurements to a JSON file
 (``BENCH_perf.json`` by default) so regressions show up as diffs.
 
 Every timed comparison also *verifies* that the fast path produces the
@@ -30,11 +32,13 @@ from dataclasses import asdict
 
 import numpy as np
 
+from ..core.parallel_rrt import build_rrt_workload
 from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import EuclideanCSpace
 from ..geometry import environments
 from ..knn.brute import BruteForceNN
 from ..planners.prm import PRM
+from ..planners.rrt import RRT
 from ..runtime.local_pool import run_tasks_parallel
 
 __all__ = ["run_suite", "main", "validate", "SCALES"]
@@ -42,8 +46,14 @@ __all__ = ["run_suite", "main", "validate", "SCALES"]
 #: Benchmark sizes.  "medium" is the checked-in regression baseline;
 #: "smoke" is CI-sized (seconds, not minutes).
 SCALES = {
-    "smoke": {"prm_samples": 400, "lp_pairs": 400, "knn_points": 1000, "pool_tasks": 16, "repeats": 2},
-    "medium": {"prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64, "repeats": 5},
+    "smoke": {
+        "prm_samples": 400, "lp_pairs": 400, "knn_points": 1000, "pool_tasks": 16,
+        "rrt_nodes": 300, "rrt_regions": 6, "rrt_nodes_per_region": 8, "repeats": 2,
+    },
+    "medium": {
+        "prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64,
+        "rrt_nodes": 2000, "rrt_regions": 16, "rrt_nodes_per_region": 20, "repeats": 5,
+    },
 }
 
 _ENV_NAME = "med-cube"
@@ -73,6 +83,7 @@ def bench_prm_build(params: dict) -> dict:
     n = params["prm_samples"]
 
     def run(batched: bool):
+        """One timed PRM build; returns comparable observables."""
         cs = _cspace()
         prm = PRM(cs, k=6, connect_same_component=True, batched=batched)
         res = prm.build(n, np.random.default_rng(_SEED))
@@ -104,6 +115,88 @@ def bench_prm_build(params: dict) -> dict:
     }
 
 
+def bench_rrt_build(params: dict) -> dict:
+    """Sequential vs batched (predict-validate-replay) RRT growth on
+    med-cube, with the full parity surface — stats, counters, exact edge
+    weights, parent pointers — asserted field for field."""
+    n = params["rrt_nodes"]
+
+    def run(batched: bool):
+        """One timed RRT growth; returns comparable observables."""
+        cs = _cspace()
+        rrt = RRT(cs, step_size=0.6, goal_bias=0.05, batched=batched)
+        res = rrt.grow(np.full(cs.dim, -9.0), n, np.random.default_rng(_SEED))
+        counters = (cs.env.counters.point_checks, cs.env.counters.segment_checks)
+        edges = sorted((min(u, v), max(u, v), w) for u, v, w in res.tree.edges())
+        return asdict(res.stats), counters, edges, dict(res.parents)
+
+    before_s, ref = _best_of(params["repeats"], lambda: run(False))
+    after_s, fast = _best_of(params["repeats"], lambda: run(True))
+    stats_equal = ref[0] == fast[0]
+    counters_equal = ref[1] == fast[1]
+    edges_equal = ref[2] == fast[2] and ref[3] == fast[3]
+    if not (stats_equal and counters_equal and edges_equal):
+        raise AssertionError(
+            "batched RRT growth diverged from the sequential reference: "
+            f"stats_equal={stats_equal} counters_equal={counters_equal} "
+            f"edges_equal={edges_equal}"
+        )
+    return {
+        "n_nodes": n,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "stats_equal": stats_equal,
+        "counters_equal": counters_equal,
+        "edges_equal": edges_equal,
+        "nn_distance_evals": ref[0]["nn_distance_evals"],
+        "lp_checks": ref[0]["lp_checks"],
+    }
+
+
+def bench_rrt_radial_workload(params: dict) -> dict:
+    """Sequential vs batched radial-subdivision RRT workload build on the
+    Fig. 10 mixed-30 environment (Alg. 2 branch growth plus connection),
+    parity asserted on the merged tree, per-branch stats, and counters."""
+    regions = params["rrt_regions"]
+    npr = params["rrt_nodes_per_region"]
+
+    def run(batched: bool):
+        """One timed radial workload build; returns comparable observables."""
+        cs = EuclideanCSpace(environments.by_name("mixed-30"))
+        wl = build_rrt_workload(
+            cs, np.full(cs.dim, -9.0), regions, nodes_per_region=npr,
+            seed=_SEED, batched=batched,
+        )
+        counters = (cs.env.counters.point_checks, cs.env.counters.segment_checks)
+        edges = sorted((min(u, v), max(u, v), w) for u, v, w in wl.tree.edges())
+        branch = {rid: asdict(b.stats) for rid, b in wl.branch_work.items()}
+        return branch, counters, edges
+
+    before_s, ref = _best_of(params["repeats"], lambda: run(False))
+    after_s, fast = _best_of(params["repeats"], lambda: run(True))
+    stats_equal = ref[0] == fast[0]
+    counters_equal = ref[1] == fast[1]
+    edges_equal = ref[2] == fast[2]
+    if not (stats_equal and counters_equal and edges_equal):
+        raise AssertionError(
+            "batched radial RRT workload diverged from the sequential "
+            f"reference: stats_equal={stats_equal} "
+            f"counters_equal={counters_equal} edges_equal={edges_equal}"
+        )
+    return {
+        "environment": "mixed-30",
+        "n_regions": regions,
+        "nodes_per_region": npr,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "stats_equal": stats_equal,
+        "counters_equal": counters_equal,
+        "edges_equal": edges_equal,
+    }
+
+
 def bench_batch_local_plan(params: dict) -> dict:
     """Per-pair local planner calls vs one ``batch_pairs`` invocation."""
     m = params["lp_pairs"]
@@ -116,6 +209,7 @@ def bench_batch_local_plan(params: dict) -> dict:
     lp = StraightLinePlanner(resolution=0.25)
 
     def run_loop():
+        """Baseline: one local-planner call per pair."""
         ok = np.empty(m, dtype=bool)
         checks = 0
         for i in range(m):
@@ -125,6 +219,7 @@ def bench_batch_local_plan(params: dict) -> dict:
         return ok, checks
 
     def run_batch():
+        """Vectorised: all pairs in one batch_pairs call."""
         ok, checks, _lengths = lp.batch_pairs(cs, starts, ends)
         return ok, checks
 
@@ -151,6 +246,7 @@ def bench_knn(params: dict) -> dict:
     ids = np.arange(n, dtype=np.int64)
 
     def run_loop():
+        """Baseline: one knn query per point."""
         nn = BruteForceNN(3)
         out = []
         for i in range(n):
@@ -159,6 +255,7 @@ def bench_knn(params: dict) -> dict:
         return out
 
     def run_block():
+        """Vectorised: blocked queries against the growing structure."""
         nn = BruteForceNN(3)
         out = []
         for lo in range(0, n, 64):
@@ -216,6 +313,8 @@ def bench_pool_scaling(params: dict) -> dict:
 
 _BENCHMARKS = {
     "prm_build_default_path": bench_prm_build,
+    "rrt_build_default_path": bench_rrt_build,
+    "rrt_radial_workload": bench_rrt_radial_workload,
     "batch_local_plan": bench_batch_local_plan,
     "knn": bench_knn,
     "pool_scaling": bench_pool_scaling,
@@ -224,6 +323,8 @@ _BENCHMARKS = {
 #: Keys every benchmark entry must carry for the file to be well-formed.
 _REQUIRED_FIELDS = {
     "prm_build_default_path": ("before_s", "after_s", "speedup", "stats_equal", "counters_equal"),
+    "rrt_build_default_path": ("before_s", "after_s", "speedup", "stats_equal", "counters_equal"),
+    "rrt_radial_workload": ("before_s", "after_s", "speedup", "stats_equal", "counters_equal"),
     "batch_local_plan": ("before_s", "after_s", "speedup"),
     "knn": ("before_s", "after_s", "speedup"),
     "pool_scaling": ("wall_s_by_workers", "speedup_4w"),
@@ -231,6 +332,7 @@ _REQUIRED_FIELDS = {
 
 
 def run_suite(scale: str = "medium") -> dict:
+    """Run every benchmark at ``scale`` and return the result payload."""
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
     params = SCALES[scale]
@@ -274,14 +376,16 @@ def validate(payload: object) -> "list[str]":
         for f in ("before_s", "after_s", "speedup"):
             if f in entry and not (isinstance(entry[f], (int, float)) and entry[f] > 0):
                 problems.append(f"benchmark {name!r} field {f!r} is not a positive number")
-    parity = benches.get("prm_build_default_path", {})
-    for f in ("stats_equal", "counters_equal"):
-        if parity.get(f) is False:
-            problems.append(f"prm_build_default_path reports {f}=false")
+    for bench_name in ("prm_build_default_path", "rrt_build_default_path", "rrt_radial_workload"):
+        parity = benches.get(bench_name, {})
+        for f in ("stats_equal", "counters_equal", "edges_equal"):
+            if parity.get(f) is False:
+                problems.append(f"{bench_name} reports {f}=false")
     return problems
 
 
 def main(argv: "list[str]") -> int:
+    """CLI entry point: run the suite or ``--check`` an existing file."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench perf", description=__doc__.splitlines()[0]
     )
@@ -314,10 +418,13 @@ def main(argv: "list[str]") -> int:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     prm = payload["benchmarks"]["prm_build_default_path"]
+    rrt = payload["benchmarks"]["rrt_build_default_path"]
     print(
         f"wrote {args.output}: prm build {prm['speedup']:.2f}x "
         f"({prm['before_s']*1e3:.0f}ms -> {prm['after_s']*1e3:.0f}ms at "
-        f"n={prm['n_samples']}, counts identical)"
+        f"n={prm['n_samples']}), rrt build {rrt['speedup']:.2f}x "
+        f"({rrt['before_s']*1e3:.0f}ms -> {rrt['after_s']*1e3:.0f}ms at "
+        f"n={rrt['n_nodes']}), counts identical"
     )
     return 0
 

@@ -209,11 +209,15 @@ def build_rrt_workload(
     seed: int = 0,
     work_model: WorkModel | None = None,
     lp_resolution: float = 0.5,
+    batched: bool = True,
 ) -> RRTWorkload:
     """Grow every conical branch once against the real geometry.
 
     ``radius`` defaults to the largest sphere around the root's position
-    that fits the workspace bounds.
+    that fits the workspace bounds.  ``batched`` selects the vectorised
+    predict-validate-replay growth path (identical trees and stats; see
+    :class:`repro.planners.rrt.RRT`); False forces the one-extension-at-a-
+    time reference loop.
     """
     work_model = work_model or WorkModel()
     root = np.asarray(root, dtype=float)
@@ -241,6 +245,7 @@ def build_rrt_workload(
         step_size=step_size,
         local_planner=StraightLinePlanner(resolution=lp_resolution),
         goal_bias=goal_bias,
+        batched=batched,
     )
 
     tree = Roadmap(cspace.dim)
@@ -262,6 +267,9 @@ def build_rrt_workload(
             ),
             max_iterations=iteration_factor * nodes_per_region,
             id_base=rid << ID_SHIFT,
+            region_predicate_batch=lambda qs, region=region, dims=pos_dims: region.contains_many(
+                np.atleast_2d(np.asarray(qs))[:, dims]
+            ),
         )
         st = result.stats
         cost = work_model.time_of(st)

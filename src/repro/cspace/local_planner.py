@@ -98,6 +98,46 @@ class StraightLinePlanner:
         bad_counts = np.bincount(seg[~ok], minlength=m)
         return bad_counts == 0, steps, lengths
 
+    def batch_pairs_exact(
+        self, cspace: ConfigurationSpace, starts: np.ndarray, ends: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Bit-exact batched twin of ``m`` sequential planner calls.
+
+        Returns ``(valid_mask, checks_per_segment, lengths)`` where every
+        field is bit-identical to looping ``__call__`` over the segments:
+        lengths come from the scalar ``cspace.distance`` and check
+        parameters from the same ``linspace`` the scalar path uses, so
+        step counts agree even when a segment length sits exactly on a
+        ``ceil(dist / resolution)`` boundary — the common case for RRT
+        extensions, whose length is the planner's fixed step size.
+        :meth:`batch_pairs_counted` computes lengths with the vectorised
+        norm, which may differ in the last ulp and flip the ceiling there.
+        Only the per-point collision work — the dominant cost — is
+        batched, into a single validity call.
+        """
+        starts = np.atleast_2d(np.asarray(starts, dtype=float))
+        ends = np.atleast_2d(np.asarray(ends, dtype=float))
+        m = starts.shape[0]
+        lengths = np.empty(m)
+        for i in range(m):
+            lengths[i] = float(cspace.distance(starts[i], ends[i]))
+        steps = np.maximum(np.ceil(lengths / self.resolution).astype(np.int64) - 1, 0)
+        total = int(steps.sum())
+        if total == 0:
+            return np.ones(m, dtype=bool), steps, lengths
+        # The scalar path takes its check parameters from
+        # ``linspace(0, 1, n+2)[1:-1]``, which numpy evaluates as
+        # ``i * step`` with ``step = 1/(n+1)`` — reproduced here exactly
+        # for all segments at once (asserted by the parity tests).
+        seg = np.repeat(np.arange(m), steps)
+        offsets = np.concatenate(([0], np.cumsum(steps)))
+        j = np.arange(total) - offsets[seg] + 1
+        t = j * (1.0 / (steps[seg] + 1))
+        pts = cspace.interpolate_pairs(starts[seg], ends[seg], t)
+        ok = cspace.valid(pts)
+        bad_counts = np.bincount(seg[~ok], minlength=m)
+        return bad_counts == 0, steps, lengths
+
     def batch_pairs_chunked(
         self,
         cspace: ConfigurationSpace,

@@ -15,6 +15,7 @@ from .summary import format_summary, summarize_events
 
 
 def main(argv: "list[str]") -> int:
+    """Run the ``summarize`` / ``events`` trace commands; 0 on success."""
     if len(argv) < 1 or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0 if argv and argv[0] in ("-h", "--help") else 2

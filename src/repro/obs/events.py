@@ -101,6 +101,7 @@ class Event:
     attrs: Mapping[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> "dict[str, Any]":
+        """Compact dict form; ``pe``/``attrs`` omitted when empty."""
         d: "dict[str, Any]" = {"ts": self.ts, "kind": self.kind, "name": self.name}
         if self.pe is not None:
             d["pe"] = self.pe
@@ -110,6 +111,7 @@ class Event:
 
     @classmethod
     def from_json(cls, d: "Mapping[str, Any]") -> "Event":
+        """Inverse of :meth:`to_json`, coercing field types."""
         return cls(
             ts=float(d["ts"]),
             kind=str(d["kind"]),

@@ -25,6 +25,7 @@ class Counter:
     value: float = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the tally."""
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge for deltas")
         self.value += amount
@@ -38,9 +39,11 @@ class Gauge:
     value: float = 0.0
 
     def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
         self.value = float(value)
 
     def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (either sign)."""
         self.value += delta
 
 
@@ -56,26 +59,32 @@ class Histogram:
     values: "list[float]" = field(default_factory=list)
 
     def observe(self, value: float) -> None:
+        """Record one sample."""
         self.values.append(float(value))
 
     @property
     def count(self) -> int:
+        """Number of recorded samples."""
         return len(self.values)
 
     @property
     def sum(self) -> float:
+        """Exact (compensated) sum of the samples."""
         return math.fsum(self.values)
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean, or 0.0 with no samples."""
         return self.sum / self.count if self.values else 0.0
 
     @property
     def min(self) -> float:
+        """Smallest sample, or 0.0 with no samples."""
         return min(self.values) if self.values else 0.0
 
     @property
     def max(self) -> float:
+        """Largest sample, or 0.0 with no samples."""
         return max(self.values) if self.values else 0.0
 
     def percentile(self, q: float) -> float:
@@ -98,18 +107,21 @@ class MetricRegistry:
         self._histograms: "dict[str, Histogram]" = {}
 
     def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
         g = self._gauges.get(name)
         if g is None:
             g = self._gauges[name] = Gauge(name)
         return g
 
     def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
         h = self._histograms.get(name)
         if h is None:
             h = self._histograms[name] = Histogram(name)

@@ -21,9 +21,15 @@ __all__ = ["Sink", "MemorySink", "JsonlSink", "read_jsonl", "parse_jsonl"]
 
 @runtime_checkable
 class Sink(Protocol):
-    def emit(self, event: Event) -> None: ...
+    """Structural interface every sink satisfies."""
 
-    def close(self) -> None: ...
+    def emit(self, event: Event) -> None:
+        """Accept one event."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release any underlying resource."""
+        ...
 
 
 class MemorySink:
@@ -36,16 +42,19 @@ class MemorySink:
 
     @property
     def events(self) -> "list[Event]":
+        """Buffered events, oldest first."""
         return list(self._buf)
 
     def emit(self, event: Event) -> None:
+        """Append, evicting the oldest event when at capacity."""
         self._buf.append(event)
 
     def clear(self) -> None:
+        """Drop all buffered events."""
         self._buf.clear()
 
     def close(self) -> None:  # nothing to release
-        pass
+        """No-op: memory sinks hold no external resource."""
 
     def __len__(self) -> int:
         return len(self._buf)
@@ -63,10 +72,12 @@ class JsonlSink:
             self._owns = True
 
     def emit(self, event: Event) -> None:
+        """Write the event as one compact JSON line."""
         self._fh.write(json.dumps(event.to_json(), separators=(",", ":")))
         self._fh.write("\n")
 
     def close(self) -> None:
+        """Flush, and close the handle if this sink opened it."""
         self._fh.flush()
         if self._owns:
             self._fh.close()

@@ -67,10 +67,12 @@ class TraceSummary:
 
     @property
     def total_phase_time(self) -> float:
+        """Sum of all phase durations."""
         return sum(self.phases.values())
 
     @property
     def total_busy(self) -> float:
+        """Total busy time across all PEs."""
         return sum(self.per_pe_busy.values())
 
     def stolen_fraction(self) -> float:

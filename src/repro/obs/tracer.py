@@ -77,6 +77,7 @@ class Tracer:
         pe: "int | None" = None,
         **attrs,
     ) -> Event:
+        """Build an event (clock-stamped unless ``ts`` given) and fan it out."""
         event = Event(
             ts=self.clock() if ts is None else float(ts),
             kind=kind,
@@ -91,16 +92,19 @@ class Tracer:
     def point(
         self, name: str, ts: "float | None" = None, pe: "int | None" = None, **attrs
     ) -> Event:
+        """Emit an instantaneous event."""
         return self.emit(POINT, name, ts=ts, pe=pe, **attrs)
 
     def begin(
         self, name: str, ts: "float | None" = None, pe: "int | None" = None, **attrs
     ) -> Event:
+        """Open a span (pair with :meth:`end`)."""
         return self.emit(SPAN_BEGIN, name, ts=ts, pe=pe, **attrs)
 
     def end(
         self, name: str, ts: "float | None" = None, pe: "int | None" = None, **attrs
     ) -> Event:
+        """Close the innermost span opened under ``name``."""
         return self.emit(SPAN_END, name, ts=ts, pe=pe, **attrs)
 
     def span_at(
@@ -134,6 +138,7 @@ class Tracer:
         return _OffsetTracer(self, dt)
 
     def close(self) -> None:
+        """Close every attached sink."""
         for sink in self.sinks:
             sink.close()
 
@@ -156,14 +161,16 @@ class _OffsetTracer(Tracer):
         self.clock = lambda: parent.clock() + self._dt
 
     def emit(self, kind, name, ts=None, pe=None, **attrs) -> Event:
+        """Shift an explicit timestamp into the parent clock and forward."""
         shifted = None if ts is None else float(ts) + self._dt
         return self._parent.emit(kind, name, ts=shifted, pe=pe, **attrs)
 
     def offset(self, dt: float) -> Tracer:
+        """Compose offsets instead of stacking wrapper objects."""
         return self._parent.offset(self._dt + dt)
 
     def close(self) -> None:  # the parent owns the sinks
-        pass
+        """No-op: closing is the parent tracer's responsibility."""
 
 
 class NullTracer(Tracer):
@@ -180,9 +187,11 @@ class NullTracer(Tracer):
         self.memory = None
 
     def emit(self, kind, name, ts=None, pe=None, **attrs) -> Event:
+        """Build the event without recording it anywhere."""
         return Event(ts=0.0, kind=kind, name=name, pe=pe, attrs=attrs)
 
     def offset(self, dt: float) -> "NullTracer":
+        """Offsetting a null tracer is still a null tracer."""
         return self
 
 

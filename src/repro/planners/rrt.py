@@ -5,6 +5,46 @@ RRT (line 11 of Algorithm 2): the tree can be constrained to a region
 (a predicate over configurations) and biased toward a target direction,
 matching the paper's conical regions whose growth is "biased toward the
 region candidate defined by the random ray".
+
+Growth — the RRT hot path — has two implementations.  The one-extension-
+at-a-time loop in :meth:`RRT._grow_sequential` is the semantic oracle.
+The default batched path (:meth:`RRT._grow_batched`) replays that oracle
+exactly while vectorising the per-iteration array work in blocks,
+mirroring the predict-validate-replay strategy of
+:class:`repro.planners.prm.PRM`:
+
+1. **Sample** a block's worth of ``q_rand`` draws up front, replaying the
+   oracle's RNG call sequence call-for-call (one ``random()`` per bias
+   gate, one ``cspace.sample`` otherwise), so every sample is
+   bit-identical to what the sequential loop would draw.
+2. **Batch the nearest-neighbour work**: distances from all block samples
+   to the frozen tree are one broadcast; nodes accepted *inside* the
+   block contribute one incremental distance column each, so the nearest
+   node for iteration *i* is an O(1) combine of the frozen row minimum
+   and the running block minimum — never a rebuild.  Ties (including
+   frozen-vs-block ties) fall back to replaying the reference selection
+   on the composed distance vector, so the chosen neighbour is identical
+   even in degenerate geometry.
+3. **Speculatively validate** the extensions the replay will need —
+   steer arithmetic, the ``q_new`` validity point check, the region
+   predicate, and the local-plan segment — in batches.  Verdicts are
+   geometry-only functions of ``(q_near, q_rand)``, so they are cached
+   by ``(nearest vertex, sample identity)``; repeated goal-bias draws
+   share one entry per tree vertex, which makes bias *chains* (each
+   acceptance re-routing the next bias draw through the new node) cost
+   exactly one validation per chain link, the same as the oracle.
+4. **Replay** the accept/reject loop in strict order against the verdict
+   cache, charging :class:`PlannerStats` per the oracle; a replay that
+   needs a verdict the prediction missed (an acceptance moved some later
+   sample's nearest node) pauses and re-predicts from the updated state.
+
+The environment's ``CollisionCounters`` are rescaled from the
+speculative charge to the replayed one at the end of the call — the
+charge per evaluated point is a constant factor, so the correction is
+exact integer arithmetic (same argument as the PRM build).  Tree
+topology, ``PlannerStats``, and counters are asserted field-for-field
+identical to the sequential oracle in ``tests/test_rrt_batched.py`` and
+re-verified by every ``python -m repro.bench perf`` run.
 """
 
 from __future__ import annotations
@@ -22,6 +62,11 @@ from .stats import PlannerStats
 
 __all__ = ["RRT", "RRTResult"]
 
+#: Iterations speculated per batch (wider than the PRM build's 64: RRT
+#: blocks re-predict on acceptance cache misses, so bigger blocks amortise
+#: the frozen-tree distance broadcast better).
+_BLOCK = 128
+
 
 @dataclass
 class RRTResult:
@@ -33,6 +78,7 @@ class RRTResult:
     stats: PlannerStats
 
     def path_to_root(self, vid: int) -> "list[int]":
+        """Vertex ids from ``vid`` up the parent chain to the root."""
         path = [vid]
         while path[-1] != self.root_id:
             path.append(self.parents[path[-1]])
@@ -54,6 +100,13 @@ class RRT:
         Probability of sampling the bias target instead of uniformly.
     nn_factory:
         ``dim -> NeighborFinder``.
+    batched:
+        Use the vectorised predict-validate-replay growth loop when the
+        local planner offers ``batch_pairs_exact`` (default True).
+        Results — tree, parents, ``PlannerStats``, collision counters —
+        are identical either way; False forces the one-extension-at-a-
+        time reference path (used by the perf suite to measure the
+        speedup and by tests to assert parity).
     """
 
     def __init__(
@@ -63,6 +116,7 @@ class RRT:
         local_planner=None,
         goal_bias: float = 0.05,
         nn_factory=None,
+        batched: bool = True,
     ):
         if step_size <= 0:
             raise ValueError("step_size must be positive")
@@ -73,6 +127,7 @@ class RRT:
         self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
         self.goal_bias = goal_bias
         self.nn_factory = nn_factory or BruteForceNN
+        self.batched = batched
 
     def grow(
         self,
@@ -88,6 +143,7 @@ class RRT:
         id_base: int = 0,
         goal: np.ndarray | None = None,
         goal_tolerance: float = 0.0,
+        region_predicate_batch: "Callable[[np.ndarray], np.ndarray] | None" = None,
     ) -> RRTResult:
         """Grow a tree of up to ``n_nodes`` nodes rooted at ``root``.
 
@@ -95,7 +151,17 @@ class RRT:
         radial subdivision cones); ``bias_target`` is the configuration
         toward which ``goal_bias`` of the samples are drawn.  When ``goal``
         is given, growth stops as soon as a node lands within
-        ``goal_tolerance`` of it.
+        ``goal_tolerance`` of it.  ``region_predicate_batch``, if given,
+        is a vectorised ``(m, dim) -> (m,) bool`` twin of
+        ``region_predicate`` used by the batched path (it must agree with
+        the scalar predicate point-for-point); without it the batched path
+        evaluates the scalar predicate per candidate, which is still
+        correct, just slower.
+
+        The batched path consumes the RNG in blocks, so after an early
+        exit (goal reached, node budget met) the generator state may be
+        ahead of where the sequential loop would have left it; every
+        *returned* quantity is identical.
         """
         stats = PlannerStats()
         root = np.asarray(root, dtype=float)
@@ -110,12 +176,40 @@ class RRT:
             if parents is None or root_id is None:
                 raise ValueError("extending an existing tree requires parents and root_id")
 
+        max_iterations = max_iterations if max_iterations is not None else 20 * n_nodes
+        if self.batched and hasattr(self.local_planner, "batch_pairs_exact"):
+            return self._grow_batched(
+                tree, parents, root_id, n_nodes, rng, bias_target, region_predicate,
+                region_predicate_batch, max_iterations, id_base, goal, goal_tolerance,
+                stats,
+            )
+        return self._grow_sequential(
+            tree, parents, root_id, n_nodes, rng, bias_target, region_predicate,
+            max_iterations, id_base, goal, goal_tolerance, stats,
+        )
+
+    # -- reference implementation -----------------------------------------
+    def _grow_sequential(
+        self,
+        tree: Roadmap,
+        parents: "dict[int, int]",
+        root_id: int,
+        n_nodes: int,
+        rng: np.random.Generator,
+        bias_target: np.ndarray | None,
+        region_predicate,
+        max_iterations: int,
+        id_base: int,
+        goal: np.ndarray | None,
+        goal_tolerance: float,
+        stats: PlannerStats,
+    ) -> RRTResult:
+        """One-extension-at-a-time growth loop: the semantic oracle."""
         nn = self.nn_factory(self.cspace.dim)
         ids, cfgs = tree.configs_array()
         nn.add_batch(ids, cfgs)
         next_local = tree.num_vertices
 
-        max_iterations = max_iterations if max_iterations is not None else 20 * n_nodes
         added = 0
         goal_reached: int | None = None
         for _ in range(max_iterations):
@@ -162,5 +256,264 @@ class RRT:
             if goal is not None and float(self.cspace.distance(q_new, goal)) <= goal_tolerance:
                 goal_reached = vid
         stats.nn_distance_evals += nn.stats.distance_evals
+        stats.samples_accepted += added
+        return RRTResult(tree, parents, root_id, stats)
+
+    # -- batched implementation --------------------------------------------
+    def _grow_batched(
+        self,
+        tree: Roadmap,
+        parents: "dict[int, int]",
+        root_id: int,
+        n_nodes: int,
+        rng: np.random.Generator,
+        bias_target: np.ndarray | None,
+        region_predicate,
+        region_predicate_batch,
+        max_iterations: int,
+        id_base: int,
+        goal: np.ndarray | None,
+        goal_tolerance: float,
+        stats: PlannerStats,
+    ) -> RRTResult:
+        """Predict-validate-replay growth: identical results, vectorised.
+
+        See the module docstring for the strategy.  Distances are
+        computed with :meth:`BruteForceNN._dist_block`'s per-dimension
+        accumulation, which is bit-identical to the per-query path the
+        oracle takes, so nearest-neighbour choices and steer parameters
+        match exactly.
+        """
+        cspace = self.cspace
+        dim = cspace.dim
+        step = self.step_size
+        lp = self.local_planner
+        env = getattr(cspace, "env", None)
+        counters = getattr(env, "counters", None)
+        before = counters.snapshot() if counters is not None else None
+
+        bias_cfg = np.asarray(bias_target, dtype=float) if bias_target is not None else None
+        goal_cfg = np.asarray(goal, dtype=float) if goal is not None else None
+
+        # Insertion-order store of every tree configuration — the same
+        # layout the oracle's NeighborFinder holds, so the tie-break
+        # fallback can replay the reference selection on an identical
+        # array.  Amortised growth like the roadmap's own storage.
+        ids0, cfgs0 = tree.configs_array()
+        n_store = int(ids0.size)
+        cap = max(_BLOCK, n_store + n_nodes)
+        store = np.empty((cap, dim))
+        store[:n_store] = cfgs0
+        store_ids = np.empty(cap, dtype=np.int64)
+        store_ids[:n_store] = ids0
+
+        next_local = tree.num_vertices
+        added = 0
+        goal_reached: int | None = None
+        nn_evals = 0
+        spec_points = 0  # points speculatively evaluated against the env
+        seq_points = 0  # points the sequential oracle would evaluate
+        # (near_vid, sample key) -> (point_ok, region_ok, lp_ok, lp_checks,
+        # lp_length, q_new); kept across blocks — geometry never changes.
+        cache: "dict[tuple[int, object], tuple]" = {}
+        it = 0
+        alive = True
+
+        while alive and it < max_iterations and added < n_nodes and goal_reached is None:
+            B = min(_BLOCK, max_iterations - it)
+            it += B
+            # -- 1. replay the sampling RNG exactly -----------------------
+            skey: "list[object]" = [None] * B
+            if bias_cfg is None and goal_cfg is None:
+                # No bias gates: the oracle consumes exactly B uniform
+                # draws, which one bulk call replays bit-for-bit (the
+                # generator fills row-major with the same per-element
+                # arithmetic as B scalar draws).
+                samples = np.atleast_2d(np.asarray(cspace.sample(rng, B), dtype=float))
+                for b in range(B):
+                    skey[b] = it - B + b
+            else:
+                samples = np.empty((B, dim))
+                for b in range(B):
+                    if bias_cfg is not None and rng.random() < self.goal_bias:
+                        samples[b] = bias_cfg
+                        skey[b] = "bias"
+                    elif goal_cfg is not None and rng.random() < self.goal_bias:
+                        samples[b] = goal_cfg
+                        skey[b] = "goal"
+                    else:
+                        samples[b] = cspace.sample(rng)
+                        skey[b] = it - B + b  # globally unique per uniform draw
+            # -- 2. frozen-tree distances, one broadcast ------------------
+            n0 = n_store
+            D = np.empty((B, n0))
+            if n0:
+                BruteForceNN._dist_block(store[:n0], samples, D)
+                frozen_min = D.min(axis=1)
+                frozen_arg = D.argmin(axis=1)
+                frozen_tie = (D == frozen_min[:, None]).sum(axis=1) > 1
+            else:
+                frozen_min = np.full(B, np.inf)
+                frozen_arg = np.zeros(B, dtype=np.int64)
+                frozen_tie = np.zeros(B, dtype=bool)
+            # Running minima over nodes accepted inside this block; one
+            # incremental distance column per acceptance.
+            blk_D = np.empty((B, B))
+            blk_min = np.full(B, np.inf)
+            blk_arg = np.full(B, -1)
+            blk_tie = np.zeros(B, dtype=bool)
+            n_blk = 0
+
+            def nearest(i: int) -> "tuple[int, float, int] | None":
+                """``(vid, distance, store row)`` of sample ``i``'s nearest
+                tree node under the current block state; None on an empty
+                tree.  Exact reference semantics: a unique strict minimum
+                is resolved directly, anything tied replays the oracle's
+                selection on the composed distance vector."""
+                if n0 + n_blk == 0:
+                    return None
+                fmin = frozen_min[i]
+                bmin = blk_min[i]
+                if bmin < fmin:
+                    if not blk_tie[i]:
+                        row = n0 + int(blk_arg[i])
+                        return (int(store_ids[row]), float(bmin), row)
+                elif fmin < bmin:
+                    if not frozen_tie[i]:
+                        row = int(frozen_arg[i])
+                        return (int(store_ids[row]), float(fmin), row)
+                d = np.concatenate((D[i], blk_D[i, :n_blk])) if n_blk else D[i]
+                idx = np.argpartition(d, 0)[:1]
+                order = idx[np.argsort(d[idx], kind="stable")]
+                row = int(order[0])
+                return (int(store_ids[row]), float(d[row]), row)
+
+            pending = list(range(B))
+            while pending and alive:
+                # -- predict & batch-validate the verdicts replay needs --
+                need: "list[tuple[tuple[int, object], int, float, int]]" = []
+                seen: "set[tuple[int, object]]" = set()
+                for i in pending:
+                    nr = nearest(i)
+                    if nr is None:
+                        break
+                    vid_near, dist, row = nr
+                    if dist == 0.0:
+                        continue
+                    key = (vid_near, skey[i])
+                    if key in cache or key in seen:
+                        continue
+                    seen.add(key)
+                    need.append((key, row, dist, i))
+                if need:
+                    q_nears = store[[row for _k, row, _d, _i in need]]
+                    q_rands = samples[[i for _k, _r, _d, i in need]]
+                    dists = np.array([d for _k, _r, d, _i in need])
+                    ts = np.minimum(step / dists, 1.0)
+                    q_news = cspace.interpolate_pairs(q_nears, q_rands, ts)
+                    ok_pts = np.atleast_1d(cspace.valid(q_news))
+                    spec_points += len(need)
+                    region_ok = np.ones(len(need), dtype=bool)
+                    passed = np.nonzero(ok_pts)[0]
+                    if passed.size and region_predicate_batch is not None:
+                        region_ok[passed] = np.atleast_1d(
+                            region_predicate_batch(q_news[passed])
+                        )
+                    elif region_predicate is not None:
+                        for j in passed:
+                            region_ok[j] = bool(region_predicate(q_news[j]))
+                    lp_sel = np.nonzero(ok_pts & region_ok)[0]
+                    lp_ok = np.zeros(len(need), dtype=bool)
+                    lp_checks = np.zeros(len(need), dtype=np.int64)
+                    lp_len = np.zeros(len(need))
+                    if lp_sel.size:
+                        ok2, per_checks, lens = lp.batch_pairs_exact(
+                            cspace, q_nears[lp_sel], q_news[lp_sel]
+                        )
+                        lp_ok[lp_sel] = ok2
+                        lp_checks[lp_sel] = per_checks
+                        lp_len[lp_sel] = lens
+                        spec_points += int(per_checks.sum())
+                    for j, (key, _row, _d, _i) in enumerate(need):
+                        cache[key] = (
+                            bool(ok_pts[j]), bool(region_ok[j]), bool(lp_ok[j]),
+                            int(lp_checks[j]), float(lp_len[j]), q_news[j],
+                        )
+                # -- strict in-order replay ------------------------------
+                done = 0
+                for i in pending:
+                    if added >= n_nodes or goal_reached is not None:
+                        alive = False
+                        break
+                    stats.nn_queries += 1
+                    nr = nearest(i)
+                    if nr is None:
+                        alive = False
+                        break
+                    nn_evals += n0 + n_blk
+                    vid_near, dist, _row = nr
+                    if dist == 0.0:
+                        done += 1
+                        continue
+                    verdict = cache.get((vid_near, skey[i]))
+                    if verdict is None:
+                        # An acceptance moved this sample's nearest node;
+                        # pause and re-predict from the updated state.
+                        stats.nn_queries -= 1
+                        nn_evals -= n0 + n_blk
+                        break
+                    done += 1
+                    pt_ok, reg_ok, l_ok, l_checks, l_len, q_new = verdict
+                    stats.sample_attempts += 1
+                    seq_points += 1
+                    if not pt_ok or not reg_ok:
+                        continue
+                    stats.lp_calls += 1
+                    stats.lp_checks += l_checks
+                    seq_points += l_checks
+                    if not l_ok:
+                        continue
+                    stats.lp_successes += 1
+                    vid = id_base + next_local
+                    next_local += 1
+                    tree.add_vertex(q_new, vid)
+                    tree.add_edge(vid_near, vid, l_len)
+                    stats.edges_added += 1
+                    parents[vid] = vid_near
+                    if n_store == store.shape[0]:
+                        store = np.concatenate((store, np.empty_like(store)))
+                        store_ids = np.concatenate((store_ids, np.empty_like(store_ids)))
+                    store[n_store] = q_new
+                    store_ids[n_store] = vid
+                    # Incremental distance column: the new node vs every
+                    # block sample — the same row-wise norm the reference
+                    # finder computes (bit-identical to the frozen
+                    # matrix's per-dimension accumulation).
+                    blk_D[:, n_blk] = np.linalg.norm(samples - q_new, axis=1)
+                    col = blk_D[:, n_blk]
+                    better = col < blk_min
+                    blk_tie |= col == blk_min
+                    blk_tie[better] = False
+                    blk_arg[better] = n_blk
+                    np.copyto(blk_min, col, where=better)
+                    n_store += 1
+                    n_blk += 1
+                    added += 1
+                    if (
+                        goal_cfg is not None
+                        and float(cspace.distance(q_new, goal_cfg)) <= goal_tolerance
+                    ):
+                        goal_reached = vid
+                pending = pending[done:]
+
+        if counters is not None and spec_points:
+            # Exact rescale of the speculative charge to the replayed one:
+            # every evaluated point charges the same constant, so integer
+            # proportionality is exact (see the PRM build).
+            dp = counters.point_checks - before.point_checks
+            ds = counters.segment_checks - before.segment_checks
+            counters.point_checks = before.point_checks + dp * seq_points // spec_points
+            counters.segment_checks = before.segment_checks + ds * seq_points // spec_points
+        stats.nn_distance_evals += nn_evals
         stats.samples_accepted += added
         return RRTResult(tree, parents, root_id, stats)

@@ -100,6 +100,7 @@ class Fault:
             raise ValueError("hang must be >= 0")
 
     def matches(self, task: "int | None", attempt: int, worker: "int | None") -> bool:
+        """True when this fault targets the given (task, attempt, worker)."""
         if self.attempt != attempt:
             return False
         if self.task is not None and self.task != task:

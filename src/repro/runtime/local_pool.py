@@ -335,11 +335,13 @@ def _run_simple(
         pool = ProcessPoolExecutor(max_workers=workers, initializer=_pool_init, initargs=(fn,))
 
         def submit(chunk):
+            """Ship the chunk to a process worker (fn sent at pool init)."""
             return pool.submit(_run_chunk_shipped, chunk)
     else:
         pool = ThreadPoolExecutor(max_workers=workers)
 
         def submit(chunk):
+            """Run the chunk on a thread worker with fn passed directly."""
             return pool.submit(_run_chunk, fn, chunk)
 
     t0 = time.perf_counter()
@@ -445,6 +447,7 @@ def _run_resilient(
     pool: "ProcessPoolExecutor | ThreadPoolExecutor"
 
     def make_pool():
+        """Fresh executor of the configured backend (also used on respawn)."""
         if process:
             return ProcessPoolExecutor(
                 max_workers=workers,
@@ -457,9 +460,11 @@ def _run_resilient(
     t0 = time.perf_counter()
 
     def now() -> float:
+        """Wall seconds since the run started."""
         return time.perf_counter() - t0
 
     def submit(entries: "tuple[tuple[int, int], ...]") -> None:
+        """Dispatch (task, attempt) entries to the pool and track them."""
         deadline = None if task_timeout is None else now() + task_timeout * len(entries)
         if process:
             fut = pool.submit(_run_attempts_shipped, entries)
@@ -560,6 +565,7 @@ def _run_resilient(
                 return live
 
     def handle(fut, sub: _Submission) -> None:
+        """Absorb one finished future: record results, requeue failures."""
         try:
             rows = fut.result()
         except BrokenExecutor:

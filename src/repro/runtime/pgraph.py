@@ -34,9 +34,11 @@ class AccessStats:
 
     @property
     def total(self) -> int:
+        """Local plus remote accesses."""
         return self.local + self.remote
 
     def remote_fraction(self) -> float:
+        """Share of accesses that went remote (0.0 when untouched)."""
         return 0.0 if self.total == 0 else self.remote / self.total
 
 
@@ -59,15 +61,18 @@ class PGraphView:
 
     # -- ownership -----------------------------------------------------------
     def set_owner(self, element: int, pe: int) -> None:
+        """Assign (or reassign) ``element`` to ``pe``."""
         if not 0 <= pe < self.topology.num_pes:
             raise ValueError(f"invalid owner PE {pe}")
         self._owner[element] = pe
 
     def set_owners(self, owners: "dict[int, int]") -> None:
+        """Bulk :meth:`set_owner` from an element -> PE mapping."""
         for element, pe in owners.items():
             self.set_owner(element, pe)
 
     def owner(self, element: int) -> int:
+        """Current owner PE of ``element`` (KeyError if unknown)."""
         return self._owner[element]
 
     def migrate(self, element: int, new_pe: int) -> None:
@@ -78,9 +83,11 @@ class PGraphView:
 
     @property
     def num_elements(self) -> int:
+        """Number of elements with an assigned owner."""
         return len(self._owner)
 
     def elements_of(self, pe: int) -> "list[int]":
+        """Sorted elements currently owned by ``pe``."""
         return sorted(e for e, p in self._owner.items() if p == pe)
 
     # -- access accounting ------------------------------------------------------
@@ -127,4 +134,5 @@ class PGraphView:
         return charged
 
     def reset_stats(self) -> None:
+        """Zero the access counters, keeping the ownership map."""
         self.stats = AccessStats()

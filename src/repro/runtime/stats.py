@@ -31,6 +31,7 @@ class PEStats:
 
     @property
     def tasks_local_executed(self) -> int:
+        """Tasks this PE executed from its own queue (not stolen)."""
         return self.tasks_executed - self.tasks_stolen_executed
 
 
@@ -63,21 +64,27 @@ class SimResult:
 
     @property
     def num_pes(self) -> int:
+        """Number of PEs that participated in the phase."""
         return len(self.pe_stats)
 
     def work_times(self) -> np.ndarray:
+        """Per-PE useful-work time, indexed by PE."""
         return np.array([s.work_time for s in self.pe_stats])
 
     def finish_times(self) -> np.ndarray:
+        """Per-PE virtual finish time, indexed by PE."""
         return np.array([s.finish_time for s in self.pe_stats])
 
     def tasks_per_pe(self) -> np.ndarray:
+        """Per-PE executed-task counts, indexed by PE."""
         return np.array([s.tasks_executed for s in self.pe_stats])
 
     def stolen_per_pe(self) -> np.ndarray:
+        """Per-PE counts of executed tasks that were stolen."""
         return np.array([s.tasks_stolen_executed for s in self.pe_stats])
 
     def total_work(self) -> float:
+        """Machine-wide useful work (sum of per-PE work times)."""
         return float(self.work_times().sum())
 
     def ideal_makespan(self) -> float:

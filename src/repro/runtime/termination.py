@@ -52,12 +52,15 @@ class TokenRingDetector:
 
     # -- events ----------------------------------------------------------------
     def set_active(self, pe: int, active: bool) -> None:
+        """Record a PE becoming busy (True) or idle (False)."""
         self._pe[pe].active = active
 
     def on_send(self, pe: int) -> None:
+        """Count a message leaving ``pe``."""
         self._pe[pe].count += 1
 
     def on_receive(self, pe: int) -> None:
+        """Count a message arriving at ``pe``; reactivates and taints it."""
         self._pe[pe].count -= 1
         # Receiving work makes a PE active and taints it: a white token that
         # already passed it must not report termination.

@@ -70,14 +70,17 @@ class ClusterTopology:
 
     # -- node structure ------------------------------------------------------
     def node_of(self, pe: int) -> int:
+        """Node index hosting ``pe``."""
         self._check(pe)
         return pe // self.cores_per_node
 
     def same_node(self, a: int, b: int) -> bool:
+        """True when both PEs share a node (cheap intra-node latency)."""
         return self.node_of(a) == self.node_of(b)
 
     @property
     def num_nodes(self) -> int:
+        """Node count (ceiling of PEs / cores per node)."""
         return -(-self.num_pes // self.cores_per_node)
 
     # -- latency ---------------------------------------------------------------
@@ -92,11 +95,13 @@ class ClusterTopology:
 
     # -- 2D mesh -----------------------------------------------------------------
     def mesh_coords(self, pe: int) -> "tuple[int, int]":
+        """(row, col) of ``pe`` in the logical 2-D mesh."""
         self._check(pe)
         _rows, cols = self.mesh_shape
         return pe // cols, pe % cols
 
     def mesh_pe(self, row: int, col: int) -> int:
+        """PE at (row, col); IndexError outside the mesh."""
         rows, cols = self.mesh_shape
         if not (0 <= row < rows and 0 <= col < cols):
             raise IndexError(f"mesh coords ({row},{col}) out of {self.mesh_shape}")

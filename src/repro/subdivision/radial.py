@@ -46,10 +46,25 @@ class ConeRegion(Region):
         return float(np.arccos(c))
 
     def contains(self, config: np.ndarray) -> bool:
-        pos = np.asarray(config, dtype=float)[: self.root.shape[0]]
-        if np.linalg.norm(pos - self.root) > self.radius:
-            return False
-        return self.angle_to(pos) <= self.half_angle + self.overlap
+        """Whether ``config`` lies in the cone (within radius and angle)."""
+        return bool(self.contains_many(config)[0])
+
+    def contains_many(self, configs: np.ndarray) -> np.ndarray:
+        """Vectorised membership: boolean mask for ``(m, dim)`` positions.
+
+        :meth:`contains` delegates here, so the scalar predicate used by
+        the sequential RRT oracle and the batch predicate used by the
+        vectorised growth path share one arithmetic path — their verdicts
+        cannot diverge, even for configurations on the cone boundary.
+        """
+        pts = np.atleast_2d(np.asarray(configs, dtype=float))[:, : self.root.shape[0]]
+        v = pts - self.root
+        n = np.sqrt(np.einsum("ij,ij->i", v, v))
+        nonzero = n > 0.0
+        safe_n = np.where(nonzero, n, 1.0)
+        cos = np.clip((v / safe_n[:, None]) @ self.direction, -1.0, 1.0)
+        angle = np.where(nonzero, np.arccos(cos), 0.0)
+        return (n <= self.radius) & (angle <= self.half_angle + self.overlap)
 
 
 class RadialSubdivision:
@@ -155,3 +170,8 @@ class RadialSubdivision:
         """Membership predicate for the regional RRT (captures overlap)."""
         region = self.region_of(rid)
         return region.contains
+
+    def predicate_batch_for(self, rid: int):
+        """Vectorised twin of :meth:`predicate_for` (``(m, dim) -> (m,)``)."""
+        region = self.region_of(rid)
+        return region.contains_many

@@ -1,0 +1,318 @@
+"""Parity battery for the batched (predict-validate-replay) RRT growth path.
+
+The batched path must be *field-for-field identical* to the sequential
+oracle: same PlannerStats, same CollisionCounters, same tree topology
+(edges with exact float weights), same parent pointers.  Every test here
+runs both paths and diffs the complete observable surface.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import asdict
+
+from repro.core.parallel_rrt import build_rrt_workload, simulate_rrt
+from repro.cspace.local_planner import StraightLinePlanner
+from repro.cspace.space import EuclideanCSpace
+from repro.geometry.environment import Environment
+from repro.geometry.environments import med_cube, mixed_30_env
+from repro.geometry.primitives import AABB
+from repro.planners.roadmap import Roadmap
+from repro.planners.rrt import RRT
+from repro.runtime.faults import Fault, FaultInjector
+from repro.subdivision.radial import ConeRegion, RadialSubdivision
+
+
+def _fresh_cspace():
+    env = Environment(
+        AABB(np.array([-5.0, -5.0]), np.array([5.0, 5.0])),
+        [
+            AABB(np.array([-1.0, -1.0]), np.array([1.0, 1.0])),
+            AABB(np.array([2.0, 2.0]), np.array([4.0, 4.0])),
+        ],
+    )
+    return EuclideanCSpace(env)
+
+
+def _observe(result, env):
+    """The full parity surface of one grow() call."""
+    edges = sorted((min(u, v), max(u, v), w) for u, v, w in result.tree.edges())
+    return (
+        asdict(result.stats),
+        dict(result.parents),
+        edges,
+        result.root_id,
+        (env.counters.point_checks, env.counters.segment_checks),
+    )
+
+
+def _grow_both(seed, n_nodes=60, step=0.5, goal_bias=0.2, grow_kwargs=None, rrt_kwargs=None):
+    """Run sequential and batched growth from identical fresh state."""
+    out = []
+    for batched in (False, True):
+        cspace = _fresh_cspace()
+        rrt = RRT(cspace, step_size=step, goal_bias=goal_bias, batched=batched,
+                  **(rrt_kwargs or {}))
+        rng = np.random.default_rng(seed)
+        result = rrt.grow(np.array([-4.0, -4.0]), n_nodes, rng, **(grow_kwargs or {}))
+        out.append(_observe(result, cspace.env))
+    return out
+
+
+def _assert_same(seq, bat):
+    for name, a, b in zip(("stats", "parents", "edges", "root_id", "counters"), seq, bat):
+        assert a == b, f"batched RRT diverged from oracle in {name}"
+
+
+class TestGrowParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_plain_growth(self, seed):
+        _assert_same(*_grow_both(seed))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bias_target(self, seed):
+        # Bias draws repeat the same q_rand, exercising verdict sharing
+        # and dist == 0 skips once the tree reaches the bias point.
+        _assert_same(*_grow_both(seed, grow_kwargs={"bias_target": np.array([4.0, 4.0])}))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_goal_early_exit(self, seed):
+        # The goal draw lands mid-block: growth must stop on the exact
+        # iteration the oracle stops on, not at the block boundary.
+        _assert_same(
+            *_grow_both(
+                seed,
+                grow_kwargs={"goal": np.array([4.5, -4.5]), "goal_tolerance": 0.6},
+            )
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bias_and_goal(self, seed):
+        _assert_same(
+            *_grow_both(
+                seed,
+                grow_kwargs={
+                    "bias_target": np.array([4.0, 4.0]),
+                    "goal": np.array([4.5, -4.5]),
+                    "goal_tolerance": 0.5,
+                },
+            )
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_iteration_cap_mid_block(self, seed):
+        # 100 is not a multiple of the block size; the final short block
+        # must stop exactly at the cap.
+        _assert_same(*_grow_both(seed, n_nodes=1000, grow_kwargs={"max_iterations": 100}))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_region_predicate_scalar_only(self, seed):
+        # Without a batch predicate the batched path falls back to the
+        # scalar one per candidate — still exact.
+        region = ConeRegion(
+            id=0, root=np.array([-4.0, -4.0]), target=np.array([4.0, 4.0]),
+            half_angle=0.8, overlap=0.1, radius=8.0,
+        )
+        _assert_same(
+            *_grow_both(seed, grow_kwargs={"region_predicate": region.contains})
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_region_predicate_batch(self, seed):
+        region = ConeRegion(
+            id=0, root=np.array([-4.0, -4.0]), target=np.array([4.0, 4.0]),
+            half_angle=0.8, overlap=0.1, radius=8.0,
+        )
+        _assert_same(
+            *_grow_both(
+                seed,
+                grow_kwargs={
+                    "region_predicate": region.contains,
+                    "region_predicate_batch": region.contains_many,
+                },
+            )
+        )
+
+    def test_medcube_3d(self):
+        outs = []
+        for batched in (False, True):
+            env = med_cube()
+            cspace = EuclideanCSpace(env)
+            rrt = RRT(cspace, step_size=0.6, batched=batched)
+            result = rrt.grow(np.full(3, -9.0), 300, np.random.default_rng(42))
+            outs.append(_observe(result, env))
+        _assert_same(*outs)
+
+    def test_id_base_extension_mode(self):
+        # Grow, then extend the returned tree under a different id_base.
+        outs = []
+        for batched in (False, True):
+            cspace = _fresh_cspace()
+            rrt = RRT(cspace, step_size=0.5, batched=batched)
+            first = rrt.grow(np.array([-4.0, -4.0]), 20, np.random.default_rng(3), id_base=1 << 20)
+            second = rrt.grow(
+                np.array([-4.0, -4.0]),
+                20,
+                np.random.default_rng(4),
+                tree=first.tree,
+                parents=first.parents,
+                root_id=first.root_id,
+                id_base=2 << 20,
+            )
+            outs.append(_observe(second, cspace.env))
+        _assert_same(*outs)
+
+
+class TestEdgeCases:
+    def test_region_never_extends(self):
+        """A cone no extension can enter: the branch stays root-only."""
+        outs = []
+        for batched in (False, True):
+            cspace = _fresh_cspace()
+            rrt = RRT(cspace, step_size=0.5, batched=batched)
+            result = rrt.grow(
+                np.array([-4.0, -4.0]),
+                30,
+                np.random.default_rng(11),
+                region_predicate=lambda q: False,
+                region_predicate_batch=lambda qs: np.zeros(len(np.atleast_2d(qs)), dtype=bool),
+                max_iterations=200,
+            )
+            assert result.tree.num_vertices == 1
+            assert result.stats.samples_accepted == 0
+            assert result.stats.edges_added == 0
+            outs.append(_observe(result, cspace.env))
+        _assert_same(*outs)
+
+    def test_empty_tree_breaks(self):
+        """Extension mode with an empty tree: one charged NN query, then
+        the loop breaks — identically on both paths."""
+        outs = []
+        for batched in (False, True):
+            cspace = _fresh_cspace()
+            rrt = RRT(cspace, batched=batched)
+            result = rrt.grow(
+                np.array([-4.0, -4.0]),
+                10,
+                np.random.default_rng(5),
+                tree=Roadmap(cspace.dim),
+                parents={},
+                root_id=0,
+            )
+            assert result.tree.num_vertices == 0
+            assert result.stats.nn_queries == 1
+            assert result.stats.nn_distance_evals == 0
+            outs.append(_observe(result, cspace.env))
+        _assert_same(*outs)
+
+    def test_zero_node_request(self):
+        outs = []
+        for batched in (False, True):
+            cspace = _fresh_cspace()
+            rrt = RRT(cspace, batched=batched)
+            result = rrt.grow(np.array([-4.0, -4.0]), 0, np.random.default_rng(1))
+            assert result.tree.num_vertices == 1
+            outs.append(_observe(result, cspace.env))
+        _assert_same(*outs)
+
+    def test_goal_bias_chain_dense(self):
+        """High goal bias: long chains of repeated bias draws mid-block."""
+        _assert_same(
+            *_grow_both(
+                9,
+                goal_bias=0.8,
+                grow_kwargs={"bias_target": np.array([4.5, -4.5])},
+            )
+        )
+
+    def test_batched_flag_off_uses_oracle_path(self):
+        cspace = _fresh_cspace()
+        rrt = RRT(cspace, batched=False)
+        assert rrt.batched is False
+        # And on by default:
+        assert RRT(_fresh_cspace()).batched is True
+
+    def test_batched_requires_capable_local_planner(self):
+        """A planner without batch_pairs_exact falls back to the oracle."""
+
+        class MinimalLP:
+            def __call__(self, cspace, a, b):
+                return StraightLinePlanner(resolution=0.25)(cspace, a, b)
+
+        cspace = _fresh_cspace()
+        rrt = RRT(cspace, local_planner=MinimalLP(), batched=True)
+        result = rrt.grow(np.array([-4.0, -4.0]), 15, np.random.default_rng(2))
+        assert result.stats.samples_accepted == 15
+
+
+class TestConeRegionVectorised:
+    def test_contains_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        region = ConeRegion(
+            id=0, root=np.array([0.0, 0.0, 0.0]), target=np.array([3.0, 0.0, 0.0]),
+            half_angle=0.5, overlap=0.05, radius=3.0,
+        )
+        pts = rng.uniform(-4, 4, size=(500, 3))
+        pts[0] = region.root  # zero-norm special case
+        pts[1] = region.target
+        mask = region.contains_many(pts)
+        assert mask.dtype == bool and mask.shape == (500,)
+        for i in range(500):
+            assert mask[i] == region.contains(pts[i])
+        assert mask[0] and mask[1]
+
+    def test_subdivision_batch_predicate(self):
+        sub = RadialSubdivision(np.zeros(2), 4.0, 6, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-5, 5, size=(200, 2))
+        for rid in sub.graph.region_ids():
+            scalar = sub.predicate_for(rid)
+            batch = sub.predicate_batch_for(rid)
+            np.testing.assert_array_equal(
+                batch(pts), np.array([scalar(p) for p in pts])
+            )
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("env_fn", [med_cube, mixed_30_env])
+    def test_build_rrt_workload(self, env_fn):
+        obs = []
+        for batched in (False, True):
+            env = env_fn()
+            cspace = EuclideanCSpace(env)
+            wl = build_rrt_workload(
+                cspace, np.full(3, -9.0), 8, nodes_per_region=12, seed=7, batched=batched
+            )
+            edges = sorted((min(u, v), max(u, v), w) for u, v, w in wl.tree.edges())
+            obs.append(
+                (
+                    edges,
+                    {rid: asdict(b.stats) for rid, b in wl.branch_work.items()},
+                    {rid: b.grow_cost for rid, b in wl.branch_work.items()},
+                    dict(wl.parents),
+                    (env.counters.point_checks, env.counters.segment_checks),
+                )
+            )
+        assert obs[0] == obs[1]
+
+    def test_simulate_parity_under_worker_crash(self):
+        """A crashing worker during branch growth: the simulated run over a
+        batched-built workload matches the sequential-built one exactly."""
+        results = []
+        for batched in (False, True):
+            env = med_cube()
+            cspace = EuclideanCSpace(env)
+            wl = build_rrt_workload(
+                cspace, np.full(3, -9.0), 8, nodes_per_region=10, seed=3, batched=batched
+            )
+            injector = FaultInjector([Fault("crash", worker=1, attempt=0)])
+            run = simulate_rrt(wl, 4, strategy="rand-8", fault_injector=injector)
+            results.append(
+                (
+                    run.phases.branch_growth,
+                    run.phases.branch_connection,
+                    run.growth_loads.tolist(),
+                    run.nodes_per_pe.tolist(),
+                    run.growth_sim.makespan,
+                )
+            )
+        assert results[0] == results[1]
