@@ -52,6 +52,7 @@ from .cspace.space import ConfigurationSpace, EuclideanCSpace
 from .geometry import environments
 from .obs.summary import TraceSummary, format_summary, summarize_events
 from .obs.tracer import active
+from .planners.engine import BatchQueryResult, QueryEngine
 from .planners.prm import PRM
 from .planners.roadmap import Roadmap
 from .planners.rrt import RRT
@@ -216,6 +217,44 @@ class PlanReport:
         """Snapshot of the tracer's metric registry, if one was attached."""
         tr = active(self.request.tracer)
         return tr.metrics.as_dict() if tr is not None else None
+
+    def query_engine(
+        self, k: int = 8, nn_factory=None, local_planner=None
+    ) -> QueryEngine:
+        """A query-serving engine over this report's roadmap.
+
+        The engine freezes the roadmap into a CSR snapshot and builds one
+        reusable NN index, amortising all per-query setup; see
+        :class:`repro.planners.engine.QueryEngine`.  The engine built for
+        one argument combination is cached, so repeated calls (and
+        :meth:`solve_queries`) reuse the same snapshot and index.
+        """
+        key = (k, nn_factory, local_planner)
+        cached = getattr(self, "_engine_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        engine = QueryEngine(
+            self.request.resolve_cspace(),
+            self.roadmap,
+            local_planner=local_planner,
+            k=k,
+            nn_factory=nn_factory,
+        )
+        self._engine_cache = (key, engine)
+        return engine
+
+    def solve_queries(self, requests, **kwargs) -> BatchQueryResult:
+        """Solve a batch of ``(start, goal)`` queries against the built
+        roadmap via the cached :meth:`query_engine`.
+
+        Keyword arguments pass through to
+        :meth:`repro.planners.engine.QueryEngine.solve_many` (``workers``,
+        ``backend``, ``failure_policy``, ...); the request's tracer is
+        attached by default so query events land in the same trace as the
+        build.
+        """
+        kwargs.setdefault("tracer", self.request.tracer)
+        return self.query_engine().solve_many(requests, **kwargs)
 
     def trace_summary(self) -> "TraceSummary | None":
         """Aggregate the attached tracer's in-memory trace, if any."""

@@ -3,7 +3,9 @@
 Times the operations the PRM and RRT builds spend their lives in —
 sequential-vs-batched roadmap construction, sequential-vs-batched RRT
 growth (plain med-cube growth and the radial-subdivision workload on a
-Fig. 10 environment), batched local planning, k-NN, and pool scaling —
+Fig. 10 environment), batched local planning, k-NN, amortised query
+serving (single and batched, plus k-NN backend scaling), and pool
+scaling —
 on fixed seeds, and writes the measurements to a JSON file
 (``BENCH_perf.json`` by default) so regressions show up as diffs.
 
@@ -37,7 +39,10 @@ from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import EuclideanCSpace
 from ..geometry import environments
 from ..knn.brute import BruteForceNN
+from ..knn.kdtree import KDTreeNN
+from ..planners.engine import QueryEngine
 from ..planners.prm import PRM
+from ..planners.query import RoadmapQuery
 from ..planners.rrt import RRT
 from ..runtime.local_pool import run_tasks_parallel
 
@@ -49,10 +54,14 @@ SCALES = {
     "smoke": {
         "prm_samples": 400, "lp_pairs": 400, "knn_points": 1000, "pool_tasks": 16,
         "rrt_nodes": 300, "rrt_regions": 6, "rrt_nodes_per_region": 8, "repeats": 2,
+        "query_vertices": 400, "query_count": 25,
+        "knn_scale_points": 4000, "knn_scale_queries": 50,
     },
     "medium": {
         "prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64,
         "rrt_nodes": 2000, "rrt_regions": 16, "rrt_nodes_per_region": 20, "repeats": 5,
+        "query_vertices": 2000, "query_count": 100,
+        "knn_scale_points": 20000, "knn_scale_queries": 200,
     },
 }
 
@@ -275,6 +284,145 @@ def bench_knn(params: dict) -> dict:
     }
 
 
+def _query_setup(params: dict):
+    """A built roadmap plus a fixed batch of (start, goal) queries, shared
+    by the query-serving benchmarks."""
+    cs = _cspace()
+    prm = PRM(cs, k=6)
+    rmap = prm.build(params["query_vertices"], np.random.default_rng(_SEED)).roadmap
+    rng = np.random.default_rng(_SEED + 1)
+    lo, hi = cs.bounds.lo, cs.bounds.hi
+    queries = [
+        (rng.uniform(lo, hi), rng.uniform(lo, hi))
+        for _ in range(params["query_count"])
+    ]
+    return cs, rmap, queries
+
+
+def _query_results_equal(ref, fast) -> bool:
+    """Exact comparison of two lists of ``QueryResult | None``."""
+    if len(ref) != len(fast):
+        return False
+    for a, b in zip(ref, fast):
+        if (a is None) != (b is None):
+            return False
+        if a is None:
+            continue
+        if a.path_vertices != b.path_vertices or a.length != b.length:
+            return False
+        if not np.array_equal(a.path_configs, b.path_configs):
+            return False
+    return True
+
+
+def bench_query_single(params: dict) -> dict:
+    """Per-query serving: ``RoadmapQuery.solve`` (rebuilds the NN index and
+    mutates the roadmap per call) vs ``QueryEngine.solve`` over a frozen
+    snapshot; answers asserted path-exact."""
+    cs, rmap, queries = _query_setup(params)
+
+    def run_ref():
+        """Baseline: stateless per-query solve."""
+        rq = RoadmapQuery(cs, k=8)
+        return [rq.solve(rmap, s, g) for s, g in queries]
+
+    def run_engine():
+        """Amortised: one engine, per-query solve calls."""
+        eng = QueryEngine(cs, rmap, k=8)
+        return [eng.solve(s, g) for s, g in queries]
+
+    before_s, ref = _best_of(params["repeats"], run_ref)
+    after_s, fast = _best_of(params["repeats"], run_engine)
+    paths_equal = _query_results_equal(ref, fast)
+    if not paths_equal:
+        raise AssertionError("QueryEngine.solve diverged from RoadmapQuery.solve")
+    return {
+        "n_vertices": params["query_vertices"],
+        "n_queries": len(queries),
+        "solved": sum(r is not None for r in ref),
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "paths_equal": paths_equal,
+    }
+
+
+def bench_query_batch(params: dict) -> dict:
+    """Batched serving: a per-query ``RoadmapQuery.solve`` loop vs one
+    ``QueryEngine.solve_many`` call (vectorised validity, batched k-NN,
+    one local-planning batch); answers asserted path-exact."""
+    cs, rmap, queries = _query_setup(params)
+
+    def run_ref():
+        """Baseline: the naive serving loop."""
+        rq = RoadmapQuery(cs, k=8)
+        return [rq.solve(rmap, s, g) for s, g in queries]
+
+    def run_batch():
+        """Amortised + batched: one solve_many call."""
+        eng = QueryEngine(cs, rmap, k=8)
+        return eng.solve_many(queries).results
+
+    before_s, ref = _best_of(params["repeats"], run_ref)
+    after_s, fast = _best_of(params["repeats"], run_batch)
+    paths_equal = _query_results_equal(ref, fast)
+    if not paths_equal:
+        raise AssertionError("solve_many diverged from the per-query reference")
+    return {
+        "n_vertices": params["query_vertices"],
+        "n_queries": len(queries),
+        "solved": sum(r is not None for r in ref),
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "paths_equal": paths_equal,
+    }
+
+
+def bench_knn_scaling(params: dict) -> dict:
+    """Brute-force vs kd-tree k-NN at serving scale (n large enough that
+    the tree's sublinear search wins); neighbour lists asserted identical,
+    canonical tie-break included."""
+    n = params["knn_scale_points"]
+    q = params["knn_scale_queries"]
+    k = 8
+    rng = np.random.default_rng(_SEED)
+    pts = rng.uniform(0.0, 10.0, size=(n, 3))
+    ids = np.arange(n, dtype=np.int64)
+    queries = rng.uniform(0.0, 10.0, size=(q, 3))
+
+    brute = BruteForceNN(3)
+    brute.add_batch(ids, pts)
+    t0 = time.perf_counter()
+    kd = KDTreeNN(3)
+    kd.add_batch(ids, pts)
+    build_s = time.perf_counter() - t0
+
+    def run_brute():
+        """Baseline: O(n) scan per query."""
+        return [brute.knn(p, k) for p in queries]
+
+    def run_kd():
+        """Sublinear: kd-tree descent with deferred far-subtree pruning."""
+        return [kd.knn(p, k) for p in queries]
+
+    before_s, ref = _best_of(params["repeats"], run_brute)
+    after_s, fast = _best_of(params["repeats"], run_kd)
+    neighbors_equal = ref == fast
+    if not neighbors_equal:
+        raise AssertionError("kd-tree neighbours diverged from brute force")
+    return {
+        "n_points": n,
+        "n_queries": q,
+        "k": k,
+        "kd_build_s": build_s,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "neighbors_equal": neighbors_equal,
+    }
+
+
 def _pool_task(task_id: int) -> float:
     """A deterministic CPU-bound unit of regional work (module level so the
     process backend can pickle it).  ``np.sin`` releases the GIL, so the
@@ -303,11 +451,16 @@ def bench_pool_scaling(params: dict) -> dict:
             lambda w=workers: run_tasks_parallel(_pool_task, tasks, workers=w, backend="thread"),
         )
         times[str(workers)] = wall
+    cpu_count = os.cpu_count()
+    # A ~1.0 "speedup" on a single-core runner is noise, not a regression
+    # signal — report null there so diffs against multi-core baselines
+    # don't flag it.
+    speedup = times["1"] / times["4"] if cpu_count is not None and cpu_count > 1 else None
     return {
         "n_tasks": len(tasks),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "wall_s_by_workers": times,
-        "speedup_4w": times["1"] / times["4"],
+        "speedup_4w": speedup,
     }
 
 
@@ -317,6 +470,9 @@ _BENCHMARKS = {
     "rrt_radial_workload": bench_rrt_radial_workload,
     "batch_local_plan": bench_batch_local_plan,
     "knn": bench_knn,
+    "query_single": bench_query_single,
+    "query_batch": bench_query_batch,
+    "knn_scaling": bench_knn_scaling,
     "pool_scaling": bench_pool_scaling,
 }
 
@@ -327,7 +483,10 @@ _REQUIRED_FIELDS = {
     "rrt_radial_workload": ("before_s", "after_s", "speedup", "stats_equal", "counters_equal"),
     "batch_local_plan": ("before_s", "after_s", "speedup"),
     "knn": ("before_s", "after_s", "speedup"),
-    "pool_scaling": ("wall_s_by_workers", "speedup_4w"),
+    "query_single": ("before_s", "after_s", "speedup", "paths_equal"),
+    "query_batch": ("before_s", "after_s", "speedup", "paths_equal"),
+    "knn_scaling": ("before_s", "after_s", "speedup", "neighbors_equal"),
+    "pool_scaling": ("wall_s_by_workers", "speedup_4w", "cpu_count"),
 }
 
 
@@ -381,6 +540,11 @@ def validate(payload: object) -> "list[str]":
         for f in ("stats_equal", "counters_equal", "edges_equal"):
             if parity.get(f) is False:
                 problems.append(f"{bench_name} reports {f}=false")
+    for bench_name in ("query_single", "query_batch"):
+        if benches.get(bench_name, {}).get("paths_equal") is False:
+            problems.append(f"{bench_name} reports paths_equal=false")
+    if benches.get("knn_scaling", {}).get("neighbors_equal") is False:
+        problems.append("knn_scaling reports neighbors_equal=false")
     return problems
 
 
@@ -419,12 +583,15 @@ def main(argv: "list[str]") -> int:
         fh.write("\n")
     prm = payload["benchmarks"]["prm_build_default_path"]
     rrt = payload["benchmarks"]["rrt_build_default_path"]
+    qb = payload["benchmarks"]["query_batch"]
     print(
         f"wrote {args.output}: prm build {prm['speedup']:.2f}x "
         f"({prm['before_s']*1e3:.0f}ms -> {prm['after_s']*1e3:.0f}ms at "
         f"n={prm['n_samples']}), rrt build {rrt['speedup']:.2f}x "
         f"({rrt['before_s']*1e3:.0f}ms -> {rrt['after_s']*1e3:.0f}ms at "
-        f"n={rrt['n_nodes']}), counts identical"
+        f"n={rrt['n_nodes']}), query batch {qb['speedup']:.2f}x "
+        f"({qb['n_queries']} queries on {qb['n_vertices']} vertices), "
+        f"counts identical"
     )
     return 0
 

@@ -235,6 +235,7 @@ def build_prm_workload(
     lp_resolution: float = 0.1,
     sampler=None,
     narrow_passage_boost: float = 3.0,
+    nn_factory=None,
 ) -> PRMWorkload:
     """Run the real regional planners once and record their work.
 
@@ -250,6 +251,11 @@ def build_prm_workload(
     sampling and connection work in the boundary regions, which is
     precisely the load imbalance the paper's techniques attack.  Set it
     to 0 for uniform effort.
+
+    ``nn_factory`` (``dim -> NeighborFinder``, default brute force) is the
+    nearest-neighbour backend for regional construction and inter-region
+    connection; every finder shares the canonical (distance, insertion
+    order) tie-break, so the workload is backend-independent.
     """
     if narrow_passage_boost < 0:
         raise ValueError("narrow_passage_boost must be non-negative")
@@ -262,6 +268,7 @@ def build_prm_workload(
         local_planner=StraightLinePlanner(resolution=lp_resolution),
         k=k,
         connect_same_component=False,
+        nn_factory=nn_factory,
     )
     env = cspace.env
     boost_samples = int(round(narrow_passage_boost * samples_per_region))

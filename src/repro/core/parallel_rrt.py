@@ -28,7 +28,6 @@ import numpy as np
 
 from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import ConfigurationSpace
-from ..knn.brute import BruteForceNN
 from ..obs.events import (
     EV_REMOTE_ACCESS,
     PHASE_CONNECT,
@@ -210,6 +209,7 @@ def build_rrt_workload(
     work_model: WorkModel | None = None,
     lp_resolution: float = 0.5,
     batched: bool = True,
+    nn_factory=None,
 ) -> RRTWorkload:
     """Grow every conical branch once against the real geometry.
 
@@ -217,7 +217,11 @@ def build_rrt_workload(
     that fits the workspace bounds.  ``batched`` selects the vectorised
     predict-validate-replay growth path (identical trees and stats; see
     :class:`repro.planners.rrt.RRT`); False forces the one-extension-at-a-
-    time reference loop.
+    time reference loop.  ``nn_factory`` (``dim -> NeighborFinder``,
+    default brute force) is used both for branch growth and for the
+    branch-connection nearest-neighbour lookups; all finders share the
+    canonical (distance, insertion order) tie-break, so the workload is
+    identical whichever backend is chosen.
     """
     work_model = work_model or WorkModel()
     root = np.asarray(root, dtype=float)
@@ -245,6 +249,7 @@ def build_rrt_workload(
         step_size=step_size,
         local_planner=StraightLinePlanner(resolution=lp_resolution),
         goal_bias=goal_bias,
+        nn_factory=nn_factory,
         batched=batched,
     )
 
@@ -309,8 +314,8 @@ def build_rrt_workload(
         cycles = 0
         reads = 0
         if ids_a.size and ids_b.size:
-            nn = BruteForceNN(cspace.dim)
-            nn.add_batch(ids_b, np.stack([tree.config(int(i)) for i in ids_b]))
+            nn = planner.nn_factory(cspace.dim)
+            nn.add_batch(ids_b, tree.configs_of(int(i) for i in ids_b))
             reads += int(ids_b.size)
             # Use the outermost nodes of a (deepest in the branch) as
             # connection sources: they are the ones near region borders.

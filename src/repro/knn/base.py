@@ -51,8 +51,18 @@ class NeighborFinder(ABC):
     @abstractmethod
     def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
         """The ``k`` nearest stored points to ``query`` as ``(id, distance)``
-        sorted by ascending distance.  ``exclude`` omits one id (typically
-        the query point itself)."""
+        sorted by ascending distance, ties broken by insertion order (the
+        canonical order every backend implements identically).  ``exclude``
+        omits one id (typically the query point itself)."""
+
+    def knn_batch(self, queries: np.ndarray, k: int) -> "list[list[tuple[int, float]]]":
+        """:meth:`knn` for every row of ``queries``.
+
+        The default loops; backends override with a vectorised path that
+        must return identical results and charge identical stats.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        return [self.knn(q, k) for q in queries]
 
     @abstractmethod
     def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":

@@ -83,6 +83,49 @@ class BruteForceNN(NeighborFinder):
         self.stats.distance_evals += self._n
         return np.linalg.norm(pts - np.asarray(query, dtype=float)[None, :], axis=1)
 
+    @staticmethod
+    def _select_canonical(d: np.ndarray, k_eff: int) -> np.ndarray:
+        """Indices of the ``k_eff`` smallest entries of ``d`` under the
+        canonical (distance, insertion order) tie-break every backend
+        implements.  argpartition alone leaves ties at the k-th distance
+        unspecified; gathering *all* entries ``<= kth`` and stable-sorting
+        them by distance makes the boundary deterministic."""
+        if k_eff >= d.size:
+            return np.argsort(d, kind="stable")[:k_eff]
+        part = np.argpartition(d, k_eff - 1)[:k_eff]
+        kth = d[part].max()
+        cand = np.nonzero(d <= kth)[0]
+        return cand[np.argsort(d[cand], kind="stable")][:k_eff]
+
+    def _select_canonical_rows(
+        self, block: np.ndarray, k_eff: int
+    ) -> "tuple[list[list[int]], list[list[float]]]":
+        """Row-wise :meth:`_select_canonical`: (index rows, distance rows).
+
+        The vectorised argpartition+argsort fast path is canonical whenever
+        a row's k selected distances are distinct and nothing outside the
+        selection ties the k-th distance; the rare ambiguous rows are
+        re-selected individually.
+        """
+        if k_eff >= block.shape[1]:
+            order = np.argsort(block, axis=1, kind="stable")[:, :k_eff]
+            return order.tolist(), np.take_along_axis(block, order, axis=1).tolist()
+        idx = np.argpartition(block, k_eff - 1, axis=1)[:, :k_eff]
+        dk = np.take_along_axis(block, idx, axis=1)
+        dk_sorted = np.sort(dk, axis=1)
+        kthv = dk_sorted[:, -1]
+        amb = (block <= kthv[:, None]).sum(axis=1) > k_eff
+        if k_eff > 1:
+            amb |= (dk_sorted[:, 1:] == dk_sorted[:, :-1]).any(axis=1)
+        order = np.argsort(dk, axis=1, kind="stable")
+        sel = np.take_along_axis(idx, order, axis=1).tolist()
+        dists = np.take_along_axis(dk, order, axis=1).tolist()
+        for r in np.nonzero(amb)[0].tolist():
+            can = self._select_canonical(block[r], k_eff)
+            sel[r] = can.tolist()
+            dists[r] = block[r][can].tolist()
+        return sel, dists
+
     def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
         if self._n == 0 or k <= 0:
             return []
@@ -93,10 +136,28 @@ class BruteForceNN(NeighborFinder):
             d, ids = d[mask], ids[mask]
         if d.size == 0:
             return []
-        k_eff = min(k, d.size)
-        idx = np.argpartition(d, k_eff - 1)[:k_eff]
-        order = idx[np.argsort(d[idx], kind="stable")]
+        order = self._select_canonical(d, min(k, d.size))
         return [(int(ids[i]), float(d[i])) for i in order]
+
+    def knn_batch(self, queries: np.ndarray, k: int) -> "list[list[tuple[int, float]]]":
+        """Canonical k-NN for every row of ``queries`` in one distance
+        broadcast — same results and stats charges as a :meth:`knn` loop."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        m = queries.shape[0]
+        if m == 0:
+            return []
+        if self._n == 0 or k <= 0:
+            return [[] for _ in range(m)]
+        D = np.empty((m, self._n))
+        self._dist_block(self._points[: self._n], queries, D)
+        self.stats.queries += m
+        self.stats.distance_evals += m * self._n
+        ids = self._ids[: self._n]
+        sel, dists = self._select_canonical_rows(D, min(k, self._n))
+        return [
+            [(int(ids[j]), float(dj)) for j, dj in zip(srow, drow)]
+            for srow, drow in zip(sel, dists)
+        ]
 
     def knn_block_growing(
         self, ids: np.ndarray, points: np.ndarray, k: int
@@ -154,20 +215,14 @@ class BruteForceNN(NeighborFinder):
                 out.append([])
                 continue
             d = D[i, :n]
-            k_eff = min(k, n)
-            idx = np.argpartition(d, k_eff - 1)[:k_eff]
-            order = idx[np.argsort(d[idx], kind="stable")]
+            order = self._select_canonical(d, min(k, n))
             out.append([(int(all_ids[j]), float(d[j])) for j in order])
         if i0 < m:
-            block = D[i0:]
-            idx = np.argpartition(block, k - 1, axis=1)[:, :k]
-            dk = np.take_along_axis(block, idx, axis=1)
-            order = np.argsort(dk, axis=1, kind="stable")
-            sel = np.take_along_axis(idx, order, axis=1)
-            pids = all_ids[sel]
-            dists = np.take_along_axis(dk, order, axis=1)
-            for prow, drow in zip(pids.tolist(), dists.tolist()):
-                out.append(list(zip(prow, drow)))
+            # Every row past i0 sees at least k finite (visible) distances,
+            # so the +inf mask never leaks into a selection.
+            sel, dists = self._select_canonical_rows(D[i0:], k)
+            for srow, drow in zip(sel, dists):
+                out.append([(int(all_ids[j]), float(dj)) for j, dj in zip(srow, drow)])
         self.add_batch(ids, points)
         return out
 

@@ -4,11 +4,18 @@ Buckets points into uniform cells and searches outward ring by ring.
 Best for densely, uniformly sampled spaces with radius-bounded queries —
 the regime of regional roadmap connection where candidate neighbours are
 never farther than the region diameter.
+
+Like the kd-tree backend, distances accumulate per-axis squared
+differences left to right in Python floats (bit-identical to NumPy's
+row-wise norm for small ``dim``) and ties are broken canonically by
+``(distance, insertion order)``, so results are interchangeable with
+:class:`~repro.knn.brute.BruteForceNN`.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from collections import defaultdict
 
 import numpy as np
@@ -30,18 +37,18 @@ class GridNN(NeighborFinder):
         self.dim = dim
         self.cell_size = cell_size
         self._cells: "dict[tuple[int, ...], list[int]]" = defaultdict(list)
-        self._points: list[np.ndarray] = []
+        self._points: "list[tuple[float, ...]]" = []
         self._ids: list[int] = []
 
     def _key(self, point: np.ndarray) -> "tuple[int, ...]":
         return tuple(np.floor(np.asarray(point, dtype=float) / self.cell_size).astype(int))
 
     def add(self, point_id: int, point: np.ndarray) -> None:
-        pt = np.asarray(point, dtype=float).copy()
+        pt = np.asarray(point, dtype=float)
         if pt.shape != (self.dim,):
             raise ValueError(f"point must have shape ({self.dim},), got {pt.shape}")
         idx = len(self._points)
-        self._points.append(pt)
+        self._points.append(tuple(pt.tolist()))
         self._ids.append(point_id)
         self._cells[self._key(pt)].append(idx)
 
@@ -64,54 +71,61 @@ class GridNN(NeighborFinder):
             key = tuple(c + o for c, o in zip(center, offset))
             yield from self._cells.get(key, ())
 
+    def _dist(self, idx: int, q: "tuple[float, ...]") -> float:
+        self.stats.distance_evals += 1
+        s = 0.0
+        for a, b in zip(self._points[idx], q):
+            t = a - b
+            s += t * t
+        return math.sqrt(s)
+
     def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
         if not self._points or k <= 0:
             return []
-        q = np.asarray(query, dtype=float)
+        q = tuple(np.asarray(query, dtype=float).tolist())
         self.stats.queries += 1
-        center = self._key(q)
-        best: list[tuple[float, int]] = []
+        center = self._key(np.asarray(query, dtype=float))
+        best: "list[tuple[float, int, int]]" = []  # (distance, seq, id)
         ring = 0
         # Expand rings until the k-th best distance is provably inside the
-        # searched shell.  Ring r guarantees coverage of all points within
-        # (r) * cell_size of the query's cell boundary.
+        # searched shell: every unseen point past ring r is at least
+        # r * cell_size away, so stopping requires kth strictly below that
+        # bound (a tied point at exactly kth could still lurk one ring out,
+        # and canonical tie-breaking must see it).
         max_ring = self._max_ring(center)
         while ring <= max_ring:
             for idx in self._candidates_in_ring(center, ring):
                 pid = self._ids[idx]
                 if pid == exclude:
                     continue
-                self.stats.distance_evals += 1
-                d = float(np.linalg.norm(self._points[idx] - q))
-                best.append((d, pid))
+                best.append((self._dist(idx, q), idx, pid))
             if len(best) >= k:
                 best.sort()
                 kth = best[min(k, len(best)) - 1][0]
-                if kth <= ring * self.cell_size:
+                if kth < ring * self.cell_size:
                     break
             ring += 1
         best.sort()
-        return [(pid, d) for d, pid in best[:k]]
+        return [(pid, d) for d, _seq, pid in best[:k]]
 
     def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
         if not self._points:
             return []
-        q = np.asarray(query, dtype=float)
+        q = tuple(np.asarray(query, dtype=float).tolist())
         self.stats.queries += 1
-        center = self._key(q)
+        center = self._key(np.asarray(query, dtype=float))
         reach = int(np.ceil(r / self.cell_size)) + 1
-        found: list[tuple[float, int]] = []
+        found: "list[tuple[float, int, int]]" = []
         for ring in range(reach + 1):
             for idx in self._candidates_in_ring(center, ring):
                 pid = self._ids[idx]
                 if pid == exclude:
                     continue
-                self.stats.distance_evals += 1
-                d = float(np.linalg.norm(self._points[idx] - q))
+                d = self._dist(idx, q)
                 if d <= r:
-                    found.append((d, pid))
+                    found.append((d, idx, pid))
         found.sort()
-        return [(pid, d) for d, pid in found]
+        return [(pid, d) for d, _seq, pid in found]
 
     def _max_ring(self, center: "tuple[int, ...]") -> int:
         """Chebyshev distance from the query's cell to the farthest

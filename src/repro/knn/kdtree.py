@@ -5,28 +5,34 @@ is cross-validated against it property-style in the tests.  Insertion uses
 median-less splitting (cycle through axes at the insertion point), which
 keeps the tree adequately balanced for randomly ordered points — exactly
 what samplers produce.
+
+Two properties make it a drop-in replacement for the brute-force backend
+on the query-serving hot path:
+
+* **Canonical tie-breaking** — neighbours are ordered by
+  ``(distance, insertion order)``, the same rule BruteForceNN and GridNN
+  follow, so swapping backends never changes a planner's output.
+* **Bit-identical distances** — per-node distances accumulate squared
+  per-axis differences left to right in Python floats, the same order
+  NumPy's row-wise ``linalg.norm`` reduces small-``dim`` rows, so the
+  reported distances match the brute-force values bit for bit.
+
+Nodes live in parallel Python lists (points as tuples) rather than
+heap-allocated node objects: traversal touches plain list slots with no
+attribute lookups or NumPy scalar boxing, which is what lets the tree
+beat the vectorised brute-force scan beyond a few thousand points.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 
 import numpy as np
 
 from .base import NeighborFinder
 
 __all__ = ["KDTreeNN"]
-
-
-class _Node:
-    __slots__ = ("point", "point_id", "axis", "left", "right")
-
-    def __init__(self, point: np.ndarray, point_id: int, axis: int):
-        self.point = point
-        self.point_id = point_id
-        self.axis = axis
-        self.left: "_Node | None" = None
-        self.right: "_Node | None" = None
 
 
 class KDTreeNN(NeighborFinder):
@@ -37,104 +43,156 @@ class KDTreeNN(NeighborFinder):
         if dim <= 0:
             raise ValueError("dim must be positive")
         self.dim = dim
-        self._root: _Node | None = None
-        self._n = 0
+        # Parallel arrays: point tuple, external id, split axis, child slots
+        # (-1 = absent).  Slot index doubles as insertion sequence number.
+        self._pts: "list[tuple[float, ...]]" = []
+        self._ids: list[int] = []
+        self._axis: list[int] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+
+    # -- construction -------------------------------------------------------
+    def _insert(self, point_id: int, pt: "tuple[float, ...]") -> None:
+        i = len(self._pts)
+        self._pts.append(pt)
+        self._ids.append(int(point_id))
+        self._left.append(-1)
+        self._right.append(-1)
+        if i == 0:
+            self._axis.append(0)
+            return
+        pts, axes, left, right = self._pts, self._axis, self._left, self._right
+        node = 0
+        while True:
+            ax = axes[node]
+            if pt[ax] < pts[node][ax]:
+                nxt = left[node]
+                if nxt < 0:
+                    left[node] = i
+                    break
+            else:
+                nxt = right[node]
+                if nxt < 0:
+                    right[node] = i
+                    break
+            node = nxt
+        self._axis.append((ax + 1) % self.dim)
 
     def add(self, point_id: int, point: np.ndarray) -> None:
-        pt = np.asarray(point, dtype=float).copy()
+        pt = np.asarray(point, dtype=float)
         if pt.shape != (self.dim,):
             raise ValueError(f"point must have shape ({self.dim},), got {pt.shape}")
-        if self._root is None:
-            self._root = _Node(pt, point_id, 0)
-        else:
-            node = self._root
-            while True:
-                axis = node.axis
-                if pt[axis] < node.point[axis]:
-                    if node.left is None:
-                        node.left = _Node(pt, point_id, (axis + 1) % self.dim)
-                        break
-                    node = node.left
-                else:
-                    if node.right is None:
-                        node.right = _Node(pt, point_id, (axis + 1) % self.dim)
-                        break
-                    node = node.right
-        self._n += 1
+        self._insert(point_id, tuple(pt.tolist()))
 
     def add_batch(self, ids: np.ndarray, points: np.ndarray) -> None:
         points = np.atleast_2d(np.asarray(points, dtype=float))
         ids = np.asarray(ids, dtype=np.int64)
         if ids.shape[0] != points.shape[0]:
             raise ValueError("ids and points length mismatch")
-        for i, p in zip(ids, points):
-            self.add(int(i), p)
+        if points.shape[1] != self.dim:
+            raise ValueError(f"points must have shape (m, {self.dim}), got {points.shape}")
+        for pid, row in zip(ids.tolist(), points.tolist()):
+            self._insert(pid, tuple(row))
 
     # -- queries -----------------------------------------------------------
     def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
-        if self._root is None or k <= 0:
+        if not self._pts or k <= 0:
             return []
-        q = np.asarray(query, dtype=float)
+        q = tuple(np.asarray(query, dtype=float).tolist())
         self.stats.queries += 1
-        # Max-heap of (-dist, id) for the current best k.
-        heap: list[tuple[float, int]] = []
-
-        def visit(node: "_Node | None") -> None:
-            if node is None:
-                return
-            self.stats.distance_evals += 1
-            d = float(np.linalg.norm(node.point - q))
-            if node.point_id != exclude:
+        pts, ids_, axes = self._pts, self._ids, self._axis
+        left, right = self._left, self._right
+        # Max-heap of (-d, -seq, id): heap[0] is the worst kept neighbour
+        # under the canonical (distance, insertion order) key.
+        heap: "list[tuple[float, int, int]]" = []
+        evals = 0
+        # Explicit stack of (node, plane) where plane >= 0 marks a deferred
+        # far-subtree visit carrying its splitting-plane distance.  The
+        # prune test runs at *pop* time — after the near subtree tightened
+        # the heap — matching the recursive formulation's pruning power.
+        stack: "list[tuple[int, float]]" = [(0, -1.0)]
+        while stack:
+            node, plane = stack.pop()
+            if plane >= 0.0 and len(heap) == k and plane > -heap[0][0]:
+                continue
+            pt = pts[node]
+            evals += 1
+            s = 0.0
+            for a, b in zip(pt, q):
+                t = a - b
+                s += t * t
+            d = math.sqrt(s)
+            if ids_[node] != exclude:
+                entry = (-d, -node, ids_[node])
                 if len(heap) < k:
-                    heapq.heappush(heap, (-d, node.point_id))
-                elif d < -heap[0][0]:
-                    heapq.heapreplace(heap, (-d, node.point_id))
-            axis = node.axis
-            delta = q[axis] - node.point[axis]
-            near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
-            visit(near)
-            # Prune the far side unless the splitting plane is within reach.
-            if len(heap) < k or abs(delta) <= -heap[0][0]:
-                visit(far)
-
-        visit(self._root)
-        out = sorted(((-nd, pid) for nd, pid in heap))
-        return [(pid, d) for d, pid in out]
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
+            ax = axes[node]
+            delta = q[ax] - pt[ax]
+            if delta < 0.0:
+                near, far = left[node], right[node]
+            else:
+                near, far = right[node], left[node]
+            if far >= 0:
+                stack.append((far, -delta if delta < 0.0 else delta))
+            if near >= 0:
+                stack.append((near, -1.0))
+        self.stats.distance_evals += evals
+        out = sorted((-nd, -nseq, pid) for nd, nseq, pid in heap)
+        return [(pid, d) for d, _seq, pid in out]
 
     def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
-        if self._root is None:
+        if not self._pts:
             return []
-        q = np.asarray(query, dtype=float)
+        q = tuple(np.asarray(query, dtype=float).tolist())
         self.stats.queries += 1
-        found: list[tuple[float, int]] = []
-
-        def visit(node: "_Node | None") -> None:
-            if node is None:
-                return
-            self.stats.distance_evals += 1
-            d = float(np.linalg.norm(node.point - q))
-            if d <= r and node.point_id != exclude:
-                found.append((d, node.point_id))
-            delta = q[node.axis] - node.point[node.axis]
-            near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
-            visit(near)
-            if abs(delta) <= r:
-                visit(far)
-
-        visit(self._root)
+        pts, ids_, axes = self._pts, self._ids, self._axis
+        left, right = self._left, self._right
+        found: "list[tuple[float, int, int]]" = []
+        evals = 0
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            pt = pts[node]
+            evals += 1
+            s = 0.0
+            for a, b in zip(pt, q):
+                t = a - b
+                s += t * t
+            d = math.sqrt(s)
+            if d <= r and ids_[node] != exclude:
+                found.append((d, node, ids_[node]))
+            ax = axes[node]
+            delta = q[ax] - pt[ax]
+            if delta < 0.0:
+                near, far = left[node], right[node]
+            else:
+                near, far = right[node], left[node]
+            # The radius bound is static, so the far side prunes at push time.
+            if far >= 0 and (-delta if delta < 0.0 else delta) <= r:
+                stack.append(far)
+            if near >= 0:
+                stack.append(near)
+        self.stats.distance_evals += evals
         found.sort()
-        return [(pid, d) for d, pid in found]
+        return [(pid, d) for d, _seq, pid in found]
 
     def __len__(self) -> int:
-        return self._n
+        return len(self._pts)
 
     # -- diagnostics --------------------------------------------------------
     def depth(self) -> int:
         """Tree height (for balance diagnostics in tests)."""
-
-        def h(node: "_Node | None") -> int:
-            if node is None:
-                return 0
-            return 1 + max(h(node.left), h(node.right))
-
-        return h(self._root)
+        if not self._pts:
+            return 0
+        best = 0
+        stack = [(0, 1)]
+        while stack:
+            node, h = stack.pop()
+            if h > best:
+                best = h
+            for child in (self._left[node], self._right[node]):
+                if child >= 0:
+                    stack.append((child, h + 1))
+        return best

@@ -19,6 +19,8 @@ Instrumented code treats ``tracer=None`` (or :data:`NULL_TRACER`) as
 """
 
 from .events import (
+    EV_QUERY_END,
+    EV_QUERY_START,
     EV_REMOTE_ACCESS,
     EV_REPARTITION_DECISION,
     EV_STEAL_FAIL,
@@ -35,6 +37,7 @@ from .events import (
     PHASE_GENERATE,
     PHASE_NAMES,
     PHASE_REPARTITION,
+    PHASE_SERVE,
     PHASE_SUBDIVIDE,
     PHASE_TERMINATE,
     PHASE_WEIGH,
@@ -60,12 +63,15 @@ __all__ = [
     "PHASE_CONSTRUCT",
     "PHASE_CONNECT",
     "PHASE_TERMINATE",
+    "PHASE_SERVE",
     "PHASE_NAMES",
     "EV_TASK_START",
     "EV_TASK_END",
     "EV_TASK_RETRY",
     "EV_TASK_ABANDONED",
     "EV_WORKER_DEATH",
+    "EV_QUERY_START",
+    "EV_QUERY_END",
     "EV_STEAL_REQUEST",
     "EV_STEAL_REPLY",
     "EV_STEAL_TRANSFER",

@@ -31,6 +31,7 @@ __all__ = [
     "PHASE_CONSTRUCT",
     "PHASE_CONNECT",
     "PHASE_TERMINATE",
+    "PHASE_SERVE",
     "PHASE_NAMES",
     "EV_TASK_START",
     "EV_TASK_END",
@@ -43,6 +44,8 @@ __all__ = [
     "EV_STEAL_FAIL",
     "EV_REPARTITION_DECISION",
     "EV_REMOTE_ACCESS",
+    "EV_QUERY_START",
+    "EV_QUERY_END",
 ]
 
 # -- event kinds -------------------------------------------------------------
@@ -58,6 +61,7 @@ PHASE_REPARTITION = "repartition"    # installing the new partition
 PHASE_CONSTRUCT = "construct"        # the load-balanced bulk phase
 PHASE_CONNECT = "connect"            # inter-region connection
 PHASE_TERMINATE = "terminate"        # termination detection
+PHASE_SERVE = "serve"                # batched query serving (post-build)
 
 #: Every phase, in canonical timeline order.
 PHASE_NAMES = (
@@ -68,6 +72,7 @@ PHASE_NAMES = (
     PHASE_CONSTRUCT,
     PHASE_TERMINATE,
     PHASE_CONNECT,
+    PHASE_SERVE,
 )
 
 # -- canonical point names ---------------------------------------------------
@@ -82,6 +87,8 @@ EV_STEAL_TRANSFER = "steal_transfer"  # victim handed tasks over
 EV_STEAL_FAIL = "steal_fail"          # victim had nothing to give
 EV_REPARTITION_DECISION = "repartition_decision"
 EV_REMOTE_ACCESS = "remote_access"
+EV_QUERY_START = "query_start"        # one planning query begins (attrs: query)
+EV_QUERY_END = "query_end"            # one planning query ends (attrs: query, latency, solved)
 
 
 @dataclass(frozen=True, slots=True)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .events import (
+    EV_QUERY_END,
+    EV_QUERY_START,
     EV_REMOTE_ACCESS,
     EV_REPARTITION_DECISION,
     EV_STEAL_FAIL,
@@ -25,6 +27,7 @@ from .events import (
     EV_TASK_START,
     EV_WORKER_DEATH,
     PHASE_NAMES,
+    PHASE_SERVE,
     SPAN_BEGIN,
     SPAN_END,
     Event,
@@ -61,6 +64,11 @@ class TraceSummary:
     #: retry reason -> count (e.g. "fault", "timeout", "worker_death").
     retry_reasons: "dict[str, int]" = field(default_factory=dict)
     abandoned_tasks: "list[int]" = field(default_factory=list)
+    # -- query serving -----------------------------------------------------
+    queries_executed: int = 0
+    queries_solved: int = 0
+    #: per-query latencies in seconds, in completion order.
+    query_latencies: "list[float]" = field(default_factory=list)
     # -- other point events ------------------------------------------------
     remote_accesses: int = 0
     repartition_decisions: "list[dict]" = field(default_factory=list)
@@ -69,6 +77,20 @@ class TraceSummary:
     def total_phase_time(self) -> float:
         """Sum of all phase durations."""
         return sum(self.phases.values())
+
+    def queries_per_sec(self) -> float:
+        """Serving throughput: executed queries over the ``serve`` span
+        (falling back to the whole trace window when no span was emitted)."""
+        window = self.phases.get(PHASE_SERVE) or self.end_time
+        return self.queries_executed / window if window > 0 else 0.0
+
+    def query_latency_percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile (``q`` in [0, 100])."""
+        lats = sorted(self.query_latencies)
+        if not lats:
+            return 0.0
+        i = min(int(q / 100 * (len(lats) - 1) + 0.5), len(lats) - 1)
+        return lats[i]
 
     @property
     def total_busy(self) -> float:
@@ -131,6 +153,13 @@ def summarize_events(events: "list[Event]") -> TraceSummary:
                 s.abandoned_tasks.append(int(task))
         elif ev.name == EV_WORKER_DEATH:
             s.worker_deaths += 1
+        elif ev.name == EV_QUERY_START:
+            pass  # counted at query_end so half-open traces stay consistent
+        elif ev.name == EV_QUERY_END:
+            s.queries_executed += 1
+            if ev.attrs.get("solved"):
+                s.queries_solved += 1
+            s.query_latencies.append(float(ev.attrs.get("latency", 0.0)))
         elif ev.name == EV_REMOTE_ACCESS:
             s.remote_accesses += int(ev.attrs.get("count", 1))
         elif ev.name == EV_REPARTITION_DECISION:
@@ -192,6 +221,21 @@ def format_summary(s: TraceSummary) -> str:
                 "Steal distribution (Fig. 9, percentiles by stolen count)",
                 format_table(["percentile", "stolen", "non-stolen"], steal_rows),
             ]
+    if s.queries_executed:
+        lines += [
+            "",
+            "Query serving",
+            format_table(
+                ["queries", "solved", "queries/sec", "p50 latency", "p99 latency"],
+                [[
+                    s.queries_executed,
+                    s.queries_solved,
+                    f"{s.queries_per_sec():.1f}",
+                    f"{s.query_latency_percentile(50) * 1e3:.2f} ms",
+                    f"{s.query_latency_percentile(99) * 1e3:.2f} ms",
+                ]],
+            ),
+        ]
     if s.task_retries or s.tasks_abandoned or s.worker_deaths:
         lines += [
             "",

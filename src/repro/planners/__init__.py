@@ -1,5 +1,7 @@
 """Sequential sampling-based planners: PRM, RRT, queries, smoothing."""
 
+from .engine import BatchQueryResult, QueryEngine, QueryRequest
+from .frozen import FrozenRoadmap
 from .prm import PRM, PRMResult
 from .query import QueryResult, RoadmapQuery, astar, dijkstra
 from .roadmap import Roadmap, UnionFind
@@ -11,6 +13,10 @@ __all__ = [
     "PRM",
     "PRMResult",
     "QueryResult",
+    "QueryEngine",
+    "QueryRequest",
+    "BatchQueryResult",
+    "FrozenRoadmap",
     "RoadmapQuery",
     "astar",
     "dijkstra",

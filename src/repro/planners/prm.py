@@ -380,7 +380,7 @@ class PRM:
         Operation counts match the sequential reference path exactly.
         """
         stats = PlannerStats()
-        k = k or self.k
+        k = k if k is not None else self.k
         ids_b = np.asarray(ids_b, dtype=np.int64)
         if ids_b.size == 0 or len(ids_a) == 0:
             return stats

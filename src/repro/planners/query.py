@@ -62,8 +62,10 @@ def astar(
         raise KeyError("source or target vertex missing from roadmap")
     target_cfg = rmap.config(target)
     if heuristic is None:
+        # Row-wise norm so the heuristic is bit-identical to the vectorised
+        # one in FrozenRoadmap.astar (np.linalg.norm(..., axis=1)).
         def heuristic(vid: int) -> float:
-            return float(np.linalg.norm(rmap.config(vid) - target_cfg))
+            return float(np.linalg.norm((rmap.config(vid) - target_cfg)[None, :], axis=1)[0])
 
     g: dict[int, float] = {source: 0.0}
     prev: dict[int, int] = {}
@@ -99,18 +101,31 @@ class QueryResult:
 
 
 class RoadmapQuery:
-    """Connects a start and goal configuration to a roadmap and solves."""
+    """Connects a start and goal configuration to a roadmap and solves.
 
-    def __init__(self, cspace: ConfigurationSpace, local_planner=None, k: int = 8):
+    ``nn_factory`` picks the nearest-neighbour backend used for attachment
+    (any :class:`~repro.knn.base.NearestNeighbors` subclass); all backends
+    share the canonical (distance, insertion order) tie-break, so swapping
+    factories does not change the answer.
+    """
+
+    def __init__(
+        self,
+        cspace: ConfigurationSpace,
+        local_planner=None,
+        k: int = 8,
+        nn_factory=None,
+    ):
         self.cspace = cspace
         self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
         self.k = k
+        self.nn_factory = nn_factory or BruteForceNN
 
     def _attach(self, rmap: Roadmap, config: np.ndarray, vid: int) -> bool:
         """Add ``config`` as vertex ``vid`` and link it to up to k nearest
         reachable roadmap vertices; True if at least one link succeeded."""
         ids, cfgs = rmap.configs_array()
-        nn = BruteForceNN(self.cspace.dim)
+        nn = self.nn_factory(self.cspace.dim)
         nn.add_batch(ids, cfgs)
         rmap.add_vertex(config, vid)
         attached = False
@@ -131,7 +146,8 @@ class RoadmapQuery:
         goal = np.asarray(goal, dtype=float)
         if not self.cspace.valid_single(start) or not self.cspace.valid_single(goal):
             return None
-        max_id = max(rmap.vertices(), default=-1)
+        ids, _ = rmap.configs_array()
+        max_id = int(ids.max()) if ids.size else -1
         sid, gid = max_id + 1, max_id + 2
         try:
             ok_s = self._attach(rmap, start, sid)
@@ -142,7 +158,7 @@ class RoadmapQuery:
             if found is None:
                 return None
             path, length = found
-            configs = np.stack([rmap.config(v) for v in path])
+            configs = rmap.configs_of(path)
             return QueryResult(path, configs, length)
         finally:
             for vid in (gid, sid):

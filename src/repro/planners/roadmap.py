@@ -336,6 +336,15 @@ class Roadmap:
         for u, v, w in other.edges():
             self.add_edge(u, v, w)
 
+    # -- freezing -----------------------------------------------------------
+    def freeze(self):
+        """Compile this roadmap into a :class:`~repro.planners.frozen.FrozenRoadmap`
+        CSR snapshot for amortised query serving.  The snapshot does not
+        track later mutations — re-freeze after changing the roadmap."""
+        from .frozen import FrozenRoadmap
+
+        return FrozenRoadmap.from_roadmap(self)
+
     # -- paths --------------------------------------------------------------
     def path_length(self, path: "list[int]") -> float:
         total = 0.0

@@ -177,7 +177,14 @@ class RRT:
                 raise ValueError("extending an existing tree requires parents and root_id")
 
         max_iterations = max_iterations if max_iterations is not None else 20 * n_nodes
-        if self.batched and hasattr(self.local_planner, "batch_pairs_exact"):
+        # The batched path replays BruteForceNN's distance arithmetic and
+        # canonical tie-break inline; a custom nn_factory must go through
+        # the sequential loop so its finder is actually consulted.
+        if (
+            self.batched
+            and self.nn_factory is BruteForceNN
+            and hasattr(self.local_planner, "batch_pairs_exact")
+        ):
             return self._grow_batched(
                 tree, parents, root_id, n_nodes, rng, bias_target, region_predicate,
                 region_predicate_batch, max_iterations, id_base, goal, goal_tolerance,
@@ -383,9 +390,10 @@ class RRT:
                         row = int(frozen_arg[i])
                         return (int(store_ids[row]), float(fmin), row)
                 d = np.concatenate((D[i], blk_D[i, :n_blk])) if n_blk else D[i]
-                idx = np.argpartition(d, 0)[:1]
-                order = idx[np.argsort(d[idx], kind="stable")]
-                row = int(order[0])
+                # argmin returns the FIRST minimum, i.e. the earliest
+                # inserted node — the canonical (distance, insertion
+                # order) tie-break every NeighborFinder implements.
+                row = int(np.argmin(d))
                 return (int(store_ids[row]), float(d[row]), row)
 
             pending = list(range(B))

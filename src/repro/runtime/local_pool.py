@@ -279,7 +279,9 @@ def run_tasks_parallel(
         raise ValueError("max_retries must be >= 0")
     if task_timeout is not None and task_timeout <= 0:
         raise ValueError("task_timeout must be positive")
-    window = window or 2 * workers
+    window = window if window is not None else 2 * workers
+    if window < 1:
+        raise ValueError("window must be >= 1")
     resilient = (
         fault_injector is not None
         or failure_policy != "fail_fast"

@@ -61,6 +61,16 @@ class TestValidate:
         bad["benchmarks"]["prm_build_default_path"]["stats_equal"] = False
         assert any("stats_equal" in p for p in perf.validate(bad))
 
+    def test_rejects_query_parity_failure(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["benchmarks"]["query_batch"]["paths_equal"] = False
+        assert any("paths_equal" in p for p in perf.validate(bad))
+
+    def test_rejects_knn_parity_failure(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["benchmarks"]["knn_scaling"]["neighbors_equal"] = False
+        assert any("neighbors_equal" in p for p in perf.validate(bad))
+
     def test_rejects_nonpositive_timing(self, smoke_payload):
         bad = copy.deepcopy(smoke_payload)
         bad["benchmarks"]["knn"]["before_s"] = 0
@@ -94,3 +104,5 @@ class TestCheckCli:
         payload = json.loads(baseline.read_text())
         assert perf.validate(payload) == []
         assert payload["benchmarks"]["prm_build_default_path"]["speedup"] >= 2.0
+        assert payload["benchmarks"]["query_batch"]["speedup"] >= 5.0
+        assert payload["benchmarks"]["knn_scaling"]["speedup"] > 1.0

@@ -84,6 +84,82 @@ class TestKnnCorrectness:
         assert {i for i, _d in grid.knn(query, k)} == expected
 
 
+class TestCanonicalTieBreak:
+    """All backends must agree on the exact ordered (id, distance) lists,
+    including ties — the contract that makes ``nn_factory`` a drop-in swap
+    everywhere in the planners."""
+
+    def _tie_heavy_points(self):
+        """A 5x5 integer lattice, duplicated: every query sees massive
+        exact-distance ties and duplicate configurations."""
+        base = np.array([[float(x), float(y)] for x in range(5) for y in range(5)])
+        return np.vstack([base, base])
+
+    def test_exact_order_on_lattice_ties(self):
+        pts = self._tie_heavy_points()
+        n = len(pts)
+        brute = BruteForceNN(2)
+        kd = KDTreeNN(2)
+        grid = GridNN(2, cell_size=1.0)
+        for nn in (brute, kd, grid):
+            nn.add_batch(np.arange(n), pts)
+        queries = [np.array([2.0, 2.0]), np.array([0.5, 0.5]), np.array([2.5, 1.5])]
+        for q in queries:
+            for k in (1, 4, 9, 30):
+                ref = brute.knn(q, k)
+                assert kd.knn(q, k) == ref
+                assert grid.knn(q, k) == ref
+
+    def test_duplicates_break_by_insertion_order(self):
+        """Duplicate points tie on distance; insertion order decides."""
+        for nn in _backends(2):
+            nn.add(5, np.array([1.0, 0.0]))
+            nn.add(3, np.array([1.0, 0.0]))
+            nn.add(9, np.array([1.0, 0.0]))
+            assert [i for i, _d in nn.knn(np.zeros(2), 3)] == [5, 3, 9]
+
+    def test_tie_at_kth_slot(self):
+        """When the k-th and (k+1)-th candidates tie on distance, the
+        earlier-inserted one must win the slot in every backend."""
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.5, 0.0]])
+        for nn in _backends(2):
+            nn.add_batch(np.arange(4), pts)
+            out = nn.knn(np.zeros(2), 2)
+            assert [i for i, _d in out] == [3, 0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(1, 10))
+    def test_exact_order_random(self, seed, k):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-3, 3, size=(50, 3))
+        q = rng.uniform(-3, 3, 3)
+        brute = BruteForceNN(3)
+        kd = KDTreeNN(3)
+        grid = GridNN(3, cell_size=0.9)
+        for nn in (brute, kd, grid):
+            nn.add_batch(np.arange(50), pts)
+        ref = brute.knn(q, k)
+        assert kd.knn(q, k) == ref
+        assert grid.knn(q, k) == ref
+
+    def test_knn_batch_matches_loop(self, rng):
+        """The vectorised batch path must equal per-query knn calls
+        exactly, for every backend (brute overrides it, others inherit)."""
+        pts = rng.uniform(-3, 3, size=(80, 2))
+        queries = rng.uniform(-3, 3, size=(12, 2))
+        for nn in _backends(2):
+            nn.add_batch(np.arange(80), pts)
+            batch = nn.knn_batch(queries, 6)
+            loop = [nn.knn(q, 6) for q in queries]
+            assert batch == loop
+
+    def test_knn_batch_empty(self):
+        for nn in _backends(2):
+            assert nn.knn_batch(np.empty((0, 2)), 4) == []
+            nn.add(0, np.zeros(2))
+            assert nn.knn_batch(np.array([[1.0, 0.0]]), 3) == [[(0, 1.0)]]
+
+
 class TestRadiusCorrectness:
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 2**31 - 1), r=st.floats(0.1, 3.0))
