@@ -14,7 +14,15 @@ import sys
 
 import numpy as np
 
-from repro import JsonlSink, MemorySink, PlanRequest, Tracer, plan
+from repro import (
+    ExecutionPolicy,
+    JsonlSink,
+    MemorySink,
+    ObsConfig,
+    Tracer,
+    WorkloadSpec,
+    plan,
+)
 from repro.bench import format_table
 from repro.cspace import EuclideanCSpace
 from repro.geometry import med_cube
@@ -56,21 +64,21 @@ def main(quick: bool = False) -> None:
     #    can inspect with `python -m repro.obs summarize trace.jsonl`.
     # ------------------------------------------------------------------
     print(f"\nParallel PRM on a simulated {num_pes}-core machine:")
+    workload = WorkloadSpec(
+        environment="med-cube",
+        planner="prm",
+        num_regions=num_regions,
+        samples_per_region=6,
+        seed=1,
+    )
     rows = []
     base = None
     for strategy in ("none", "repartition", "hybrid", "rand-8"):
         tracer = Tracer(sinks=[MemorySink(), JsonlSink("quickstart_trace.jsonl")])
         report = plan(
-            PlanRequest(
-                environment="med-cube",
-                planner="prm",
-                num_regions=num_regions,
-                samples_per_region=6,
-                strategy=strategy,
-                num_pes=num_pes,
-                seed=1,
-                tracer=tracer,
-            )
+            workload,
+            execution=ExecutionPolicy(strategy=strategy, num_pes=num_pes),
+            obs=ObsConfig(tracer=tracer),
         )
         tracer.close()
         if base is None:

@@ -27,21 +27,31 @@ Packages
 ``repro.obs``
     Structured tracing + metrics: typed events, sinks (memory / JSON
     lines), and a trace summariser (``python -m repro.obs summarize``).
+``repro.spec``
+    The layered request vocabulary: ``WorkloadSpec`` / ``ExecutionPolicy``
+    / ``FaultPolicy`` / ``ObsConfig``, the ``PlanRequest`` aggregate,
+    canonical workload cache keys, and the flat-kwarg deprecation shim.
 ``repro.api``
-    The ``plan(PlanRequest(...)) -> PlanReport`` facade over the whole
+    The ``plan(WorkloadSpec(...)) -> PlanReport`` facade over the whole
     pipeline.
+``repro.service``
+    Planning-as-a-service: LRU snapshot cache with singleflight builds,
+    request coalescing, and the thread-pooled multi-tenant
+    ``PlanService``.
 ``repro.bench``
-    Drivers that regenerate every figure in the paper's evaluation.
+    Drivers that regenerate every figure in the paper's evaluation, the
+    perf suite, and the serving load generator.
 
 Quick start
 -----------
->>> from repro import PlanRequest, plan
->>> report = plan(PlanRequest(environment="med-cube", strategy="hybrid",
-...                           num_regions=512, num_pes=96, seed=1))
+>>> from repro import ExecutionPolicy, WorkloadSpec, plan
+>>> report = plan(WorkloadSpec(environment="med-cube", num_regions=512, seed=1),
+...               execution=ExecutionPolicy(strategy="hybrid", num_pes=96))
 >>> print(report.summary())
 """
 
 from .api import PlanReport, PlanRequest, plan
+from .spec import ExecutionPolicy, FaultPolicy, ObsConfig, WorkloadSpec
 from .obs import (
     JsonlSink,
     MemorySink,
@@ -53,14 +63,22 @@ from .obs import (
     summarize_events,
 )
 from .runtime import Fault, FaultInjector, TaskFailedError
+from .service import PlanService, RoadmapCache, ServiceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "PlanRequest",
     "PlanReport",
     "plan",
+    "WorkloadSpec",
+    "ExecutionPolicy",
+    "FaultPolicy",
+    "ObsConfig",
+    "PlanService",
+    "ServiceConfig",
+    "RoadmapCache",
     "Fault",
     "FaultInjector",
     "TaskFailedError",

@@ -5,28 +5,40 @@ replay it under many strategies), but most callers want the whole chain:
 environment → subdivision → regional planning → weights/repartition →
 simulated machine or local pool.  :func:`plan` composes it:
 
-    >>> from repro import PlanRequest, plan
-    >>> report = plan(PlanRequest(environment="med-cube", planner="prm",
-    ...                           num_regions=512, strategy="hybrid",
-    ...                           num_pes=96, seed=1))
+    >>> from repro import ExecutionPolicy, PlanRequest, WorkloadSpec, plan
+    >>> report = plan(PlanRequest(
+    ...     workload=WorkloadSpec(environment="med-cube", planner="prm",
+    ...                           num_regions=512, seed=1),
+    ...     execution=ExecutionPolicy(strategy="hybrid", num_pes=96),
+    ... ))
     >>> report.total_time, report.sim.efficiency()
 
-Every knob rides on the request — the steal policy, the initial
-partitioner, the machine topology, and a :class:`repro.obs.Tracer` that
-records the run as a structured trace.  The legacy entry points
-(``build_prm_workload`` / ``simulate_prm`` and the RRT pair) remain the
-underlying building blocks and keep working unchanged; ``plan()`` is the
-facade over them.
+Every knob rides on the request's four composable specs (see
+:mod:`repro.spec`): the :class:`~repro.spec.WorkloadSpec` problem
+definition, the :class:`~repro.spec.ExecutionPolicy` (simulated machine
+or local pool), the :class:`~repro.spec.FaultPolicy`, and the
+:class:`~repro.spec.ObsConfig` tracer hook.  The same spec objects drive
+:meth:`PlanReport.solve_queries` batch serving and the persistent
+:class:`repro.service.PlanService`; a bare :class:`WorkloadSpec` is also
+accepted directly::
 
-``execution="simulate"`` (default) replays the measured workload on a
-virtual machine of ``num_pes`` PEs.  ``execution="local"`` instead runs
-the regional planners truly in parallel on this machine's cores via
-:func:`repro.runtime.run_tasks_parallel` and reports wall-clock numbers.
+    >>> plan(WorkloadSpec(num_regions=64), execution=ExecutionPolicy(num_pes=8))
+
+The legacy flat-kwarg construction (``PlanRequest(num_regions=512,
+num_pes=96, ...)``) keeps working through a deprecation shim, and the
+legacy entry points (``build_prm_workload`` / ``simulate_prm`` and the
+RRT pair) remain the underlying building blocks.
+
+``ExecutionPolicy.mode == "simulate"`` (default) replays the measured
+workload on a virtual machine of ``num_pes`` PEs.  ``mode == "local"``
+instead runs the regional planners truly in parallel on this machine's
+cores via :func:`repro.runtime.run_tasks_parallel` and reports
+wall-clock numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING
 
@@ -48,115 +60,30 @@ from .core.parallel_rrt import (
     build_rrt_workload,
     simulate_rrt,
 )
-from .cspace.space import ConfigurationSpace, EuclideanCSpace
-from .geometry import environments
+from .cspace.space import ConfigurationSpace
 from .obs.summary import TraceSummary, format_summary, summarize_events
 from .obs.tracer import active
 from .planners.engine import BatchQueryResult, QueryEngine
 from .planners.prm import PRM
 from .planners.roadmap import Roadmap
 from .planners.rrt import RRT
-from .runtime.faults import FaultInjector
-from .runtime.local_pool import FAILURE_POLICIES, PoolResult, run_tasks_parallel
+from .runtime.local_pool import PoolResult, run_tasks_parallel
+from .spec import ExecutionPolicy, FaultPolicy, ObsConfig, PlanRequest, WorkloadSpec
 from .subdivision.radial import RadialSubdivision
 from .subdivision.uniform import UniformSubdivision
 
 if TYPE_CHECKING:
-    from .obs.tracer import Tracer
     from .runtime.stats import SimResult
-    from .runtime.topology import ClusterTopology
 
-__all__ = ["PlanRequest", "PlanReport", "plan"]
-
-_PLANNERS = ("prm", "rrt")
-_EXECUTIONS = ("simulate", "local")
-_STRATEGIES = ("none", "repartition", "rand-8", "rand-k", "diffusive", "hybrid")
-
-
-@dataclass
-class PlanRequest:
-    """Everything :func:`plan` needs, in one declarative record."""
-
-    #: benchmark environment name (see ``repro.geometry.environments``) or
-    #: an Environment instance.
-    environment: "str | object" = "med-cube"
-    planner: str = "prm"
-    num_regions: int = 256
-    #: PRM per-region sample budget (the paper's N / Nr).
-    samples_per_region: int = 8
-    #: RRT per-branch node budget.
-    nodes_per_region: int = 12
-    #: load-balancing strategy: "none", "repartition", "rand-8",
-    #: "diffusive" or "hybrid".
-    strategy: str = "none"
-    #: initial region->PE distribution: "block" (paper's naive mapping),
-    #: "greedy" or "rcb".
-    partitioner: str = "block"
-    num_pes: int = 16
-    seed: int = 0
-    topology: "ClusterTopology | None" = None
-    steal_chunk: "str | int" = "half"
-    #: observability hook; None (default) records nothing.
-    tracer: "Tracer | None" = None
-    #: "simulate" replays on the virtual machine; "local" runs the
-    #: regional planners on this machine's cores for real wall-clock.
-    execution: str = "simulate"
-    #: local-execution pool size, backend, and tasks per submission
-    #: (chunksize > 1 amortises dispatch overhead for tiny regions).
-    workers: int = 4
-    backend: str = "thread"
-    chunksize: int = 1
-    #: failure handling: "fail_fast" (default), "retry" (bounded retries
-    #: with backoff), or "degrade" (abandon exhausted regions and return
-    #: a partial roadmap).  Applies to both execution modes — local runs
-    #: honour the policy exactly; the simulator always degrades (it
-    #: studies failure, it does not die of it).
-    failure_policy: str = "fail_fast"
-    max_retries: int = 2
-    #: local execution only: seconds allowed per region before the
-    #: attempt counts as failed (None disables timeouts).
-    task_timeout: "float | None" = None
-    #: deterministic chaos plan (see ``repro.runtime.faults``); None
-    #: (default) injects nothing and costs nothing.
-    fault_injector: "FaultInjector | None" = None
-    #: extra keyword arguments forwarded to ``build_*_workload``.
-    workload_options: "dict" = field(default_factory=dict)
-
-    def validate(self) -> None:
-        """Raise ``ValueError`` on any out-of-range or unknown field."""
-        if self.planner not in _PLANNERS:
-            raise ValueError(f"planner must be one of {_PLANNERS}, got {self.planner!r}")
-        if self.execution not in _EXECUTIONS:
-            raise ValueError(
-                f"execution must be one of {_EXECUTIONS}, got {self.execution!r}"
-            )
-        if self.strategy not in _STRATEGIES:
-            raise ValueError(
-                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}"
-            )
-        if self.num_regions < 1:
-            raise ValueError("num_regions must be >= 1")
-        if self.num_pes < 1:
-            raise ValueError("num_pes must be >= 1")
-        if self.chunksize < 1:
-            raise ValueError("chunksize must be >= 1")
-        if self.failure_policy not in FAILURE_POLICIES:
-            raise ValueError(
-                f"failure_policy must be one of {FAILURE_POLICIES}, "
-                f"got {self.failure_policy!r}"
-            )
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        if self.task_timeout is not None and self.task_timeout <= 0:
-            raise ValueError("task_timeout must be positive")
-
-    def resolve_cspace(self) -> ConfigurationSpace:
-        """Materialise the configuration space (looking the environment up
-        by catalog name when given as a string)."""
-        env = self.environment
-        if isinstance(env, str):
-            env = environments.by_name(env)
-        return EuclideanCSpace(env)
+__all__ = [
+    "PlanRequest",
+    "PlanReport",
+    "plan",
+    "WorkloadSpec",
+    "ExecutionPolicy",
+    "FaultPolicy",
+    "ObsConfig",
+]
 
 
 @dataclass
@@ -243,18 +170,32 @@ class PlanReport:
         self._engine_cache = (key, engine)
         return engine
 
-    def solve_queries(self, requests, **kwargs) -> BatchQueryResult:
+    def solve_queries(
+        self,
+        requests,
+        execution: "ExecutionPolicy | None" = None,
+        faults: "FaultPolicy | None" = None,
+        **kwargs,
+    ) -> BatchQueryResult:
         """Solve a batch of ``(start, goal)`` queries against the built
         roadmap via the cached :meth:`query_engine`.
 
-        Keyword arguments pass through to
+        ``execution`` / ``faults`` specs (the same objects :func:`plan`
+        and :class:`repro.service.PlanService` take) configure the pool
+        dispatch and retry/degrade policy; loose keyword arguments still
+        pass through to
         :meth:`repro.planners.engine.QueryEngine.solve_many` (``workers``,
-        ``backend``, ``failure_policy``, ...); the request's tracer is
+        ``backend``, ``failure_policy``, ...).  The request's tracer is
         attached by default so query events land in the same trace as the
-        build.
+        build, and retry/abandonment accounting surfaces on the returned
+        :class:`~repro.planners.engine.BatchQueryResult` exactly as
+        :func:`plan` surfaces it on the report (``retries``,
+        ``abandoned``, ``attempts``, ``worker_deaths``).
         """
         kwargs.setdefault("tracer", self.request.tracer)
-        return self.query_engine().solve_many(requests, **kwargs)
+        return self.query_engine().solve_many(
+            requests, execution=execution, faults=faults, **kwargs
+        )
 
     def trace_summary(self) -> "TraceSummary | None":
         """Aggregate the attached tracer's in-memory trace, if any."""
@@ -267,7 +208,7 @@ class PlanReport:
         """Human-readable report of the run."""
         lines = [
             f"{self.request.planner.upper()} / {self.request.strategy} "
-            f"on {self.request.num_pes} PEs ({self.request.execution})",
+            f"on {self.request.num_pes} PEs ({self.request.execution.mode})",
             f"roadmap: {self.roadmap.num_vertices} vertices, "
             f"{self.roadmap.num_edges} edges",
             f"total time: {self.total_time:.2f}",
@@ -291,51 +232,73 @@ class PlanReport:
         return "\n".join(lines)
 
 
-def plan(request: PlanRequest) -> PlanReport:
-    """Run the full pipeline described by ``request``."""
+def plan(
+    request: "PlanRequest | WorkloadSpec",
+    execution: "ExecutionPolicy | None" = None,
+    faults: "FaultPolicy | None" = None,
+    obs: "ObsConfig | None" = None,
+) -> PlanReport:
+    """Run the full pipeline described by ``request``.
+
+    ``request`` is a :class:`~repro.spec.PlanRequest`, or a bare
+    :class:`~repro.spec.WorkloadSpec` combined with optional
+    ``execution`` / ``faults`` / ``obs`` specs — the same vocabulary
+    every other entry point (:meth:`PlanReport.solve_queries`,
+    :class:`repro.service.PlanService`) speaks.
+    """
+    if isinstance(request, WorkloadSpec):
+        request = PlanRequest(
+            workload=request, execution=execution, faults=faults, obs=obs
+        )
+    elif execution is not None or faults is not None or obs is not None:
+        raise TypeError(
+            "execution/faults/obs overrides are only accepted with a bare "
+            "WorkloadSpec; a full PlanRequest already carries them"
+        )
     request.validate()
+    wl, ex, fa, ob = request.workload, request.execution, request.faults, request.obs
     cspace = request.resolve_cspace()
-    if request.execution == "local":
+    if ex.mode == "local":
         return _plan_local(request, cspace)
-    if request.planner == "prm":
+    if wl.planner == "prm":
         workload = build_prm_workload(
             cspace,
-            num_regions=request.num_regions,
-            samples_per_region=request.samples_per_region,
-            seed=request.seed,
-            **request.workload_options,
+            num_regions=wl.num_regions,
+            samples_per_region=wl.samples_per_region,
+            seed=wl.seed,
+            **wl.options,
         )
         result = simulate_prm(
             workload,
-            request.num_pes,
-            request.strategy,
-            topology=request.topology,
-            steal_chunk=request.steal_chunk,
-            tracer=request.tracer,
-            initial_partitioner=request.partitioner,
-            fault_injector=request.fault_injector,
-            max_retries=request.max_retries,
+            ex.num_pes,
+            ex.strategy,
+            topology=ex.topology,
+            steal_chunk=ex.steal_chunk,
+            tracer=ob.tracer,
+            initial_partitioner=ex.partitioner,
+            fault_injector=fa.injector,
+            max_retries=fa.max_retries,
         )
     else:
-        root = _default_root(cspace, request.seed)
+        root = _default_root(cspace, wl.seed)
         workload = build_rrt_workload(
             cspace,
             root,
-            num_regions=request.num_regions,
-            nodes_per_region=request.nodes_per_region,
-            seed=request.seed,
-            **request.workload_options,
+            num_regions=wl.num_regions,
+            nodes_per_region=wl.nodes_per_region,
+            seed=wl.seed,
+            **wl.options,
         )
         result = simulate_rrt(
             workload,
-            request.num_pes,
-            request.strategy,
-            topology=request.topology,
-            steal_chunk=request.steal_chunk,
-            tracer=request.tracer,
-            initial_partitioner=request.partitioner,
-            fault_injector=request.fault_injector,
-            max_retries=request.max_retries,
+            ex.num_pes,
+            ex.strategy,
+            topology=ex.topology,
+            steal_chunk=ex.steal_chunk,
+            tracer=ob.tracer,
+            initial_partitioner=ex.partitioner,
+            fault_injector=fa.injector,
+            max_retries=fa.max_retries,
         )
     return PlanReport(
         request=request,
@@ -423,16 +386,17 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
     work stealing, so the ``strategy`` field is irrelevant here; regions
     are the unit of work exactly as on the simulated machine.
     """
-    if request.planner == "prm":
+    wl, ex, fa, ob = request.workload, request.execution, request.faults, request.obs
+    if wl.planner == "prm":
         subdivision = UniformSubdivision(
-            _positional_bounds(cspace), request.num_regions, overlap=0.2
+            _positional_bounds(cspace), wl.num_regions, overlap=0.2
         )
         task = partial(
-            _prm_region_task, cspace, subdivision, request.samples_per_region, request.seed
+            _prm_region_task, cspace, subdivision, wl.samples_per_region, wl.seed
         )
         region_ids = subdivision.graph.region_ids()
     else:
-        root = _default_root(cspace, request.seed)
+        root = _default_root(cspace, wl.seed)
         pos_dims = list(cspace.positional_dims)
         root_pos = root[pos_dims]
         radius = float(
@@ -444,26 +408,22 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
         radial = RadialSubdivision(
             root_pos,
             radius,
-            request.num_regions,
-            rng=np.random.default_rng(request.seed),
+            wl.num_regions,
+            rng=np.random.default_rng(wl.seed),
         )
         task = partial(
-            _rrt_region_task, cspace, radial, root, request.nodes_per_region, request.seed
+            _rrt_region_task, cspace, radial, root, wl.nodes_per_region, wl.seed
         )
         region_ids = radial.graph.region_ids()
 
     pool = run_tasks_parallel(
         task,
         region_ids,
-        workers=request.workers,
-        backend=request.backend,
-        chunksize=request.chunksize,
-        tracer=request.tracer,
-        failure_policy=request.failure_policy,
-        max_retries=request.max_retries,
-        task_timeout=request.task_timeout,
-        fault_injector=request.fault_injector,
-        retry_seed=request.seed,
+        workers=ex.workers,
+        backend=ex.backend,
+        chunksize=ex.chunksize,
+        tracer=ob.tracer,
+        **fa.pool_kwargs(retry_seed=wl.seed),
     )
     # Under "degrade" abandoned regions are simply absent from the merge:
     # regional roadmaps are independent subproblems, so the survivors

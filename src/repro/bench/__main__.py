@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench fig5a           # regenerate one figure
     python -m repro.bench all             # regenerate everything
     python -m repro.bench perf [...]      # hot-path perf regression suite
+    python -m repro.bench serve [...]     # PlanService load-generator bench
 """
 
 from __future__ import annotations
@@ -39,11 +40,16 @@ def main(argv: "list[str]") -> int:
             summary = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:8s} {summary}")
         print("  perf     hot-path perf regression suite (see 'perf --help')")
+        print("  serve    PlanService load-generator bench (see 'serve --help')")
         return 0
     if argv[0] == "perf":
         from . import perf
 
         return perf.main(argv[1:])
+    if argv[0] == "serve":
+        from . import serve
+
+        return serve.main(argv[1:])
     targets = list(_FIGURES) if argv == ["all"] else argv
     unknown = [t for t in targets if t not in _FIGURES]
     if unknown:

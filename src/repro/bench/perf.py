@@ -545,6 +545,11 @@ def validate(payload: object) -> "list[str]":
             problems.append(f"{bench_name} reports paths_equal=false")
     if benches.get("knn_scaling", {}).get("neighbors_equal") is False:
         problems.append("knn_scaling reports neighbors_equal=false")
+    # Serve rows are optional extras merged in by `python -m repro.bench
+    # serve`; when present they must be well-formed and parity-clean.
+    from .serve import validate_serve_rows
+
+    problems.extend(validate_serve_rows(benches))
     return problems
 
 

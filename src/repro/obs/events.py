@@ -46,6 +46,11 @@ __all__ = [
     "EV_REMOTE_ACCESS",
     "EV_QUERY_START",
     "EV_QUERY_END",
+    "EV_CACHE_HIT",
+    "EV_CACHE_MISS",
+    "EV_CACHE_EVICT",
+    "EV_BATCH_FLUSH",
+    "EV_REQUEST_REJECTED",
 ]
 
 # -- event kinds -------------------------------------------------------------
@@ -89,6 +94,11 @@ EV_REPARTITION_DECISION = "repartition_decision"
 EV_REMOTE_ACCESS = "remote_access"
 EV_QUERY_START = "query_start"        # one planning query begins (attrs: query)
 EV_QUERY_END = "query_end"            # one planning query ends (attrs: query, latency, solved)
+EV_CACHE_HIT = "cache_hit"            # snapshot served from cache (attrs: key)
+EV_CACHE_MISS = "cache_miss"          # snapshot had to be built (attrs: key, coalesced)
+EV_CACHE_EVICT = "cache_evict"        # LRU eviction under memory budget (attrs: key, bytes)
+EV_BATCH_FLUSH = "batch_flush"        # coalescer flushed a batch (attrs: key, size, reason, waited)
+EV_REQUEST_REJECTED = "request_rejected"  # admission control turned a request away (attrs: queued)
 
 
 @dataclass(frozen=True, slots=True)

@@ -7,11 +7,15 @@ back through :meth:`MetricRegistry.as_dict`.
 
 Instruments are deliberately simple (no label sets, no time windows):
 every run gets a fresh registry, so values are per-run totals.
+Mutations (``inc`` / ``add`` / ``observe`` and create-on-first-use) are
+thread-safe: the local pools and the serving layer record from worker
+threads concurrently.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
@@ -23,12 +27,16 @@ class Counter:
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the tally."""
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge for deltas")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -37,14 +45,19 @@ class Gauge:
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
         """Overwrite the gauge with ``value``."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def add(self, delta: float) -> None:
         """Shift the gauge by ``delta`` (either sign)."""
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
 
 @dataclass
@@ -105,27 +118,31 @@ class MetricRegistry:
         self._counters: "dict[str, Counter]" = {}
         self._gauges: "dict[str, Gauge]" = {}
         self._histograms: "dict[str, Histogram]" = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created on first use."""
-        c = self._counters.get(name)
-        if c is None:
-            c = self._counters[name] = Counter(name)
-        return c
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``, created on first use."""
-        g = self._gauges.get(name)
-        if g is None:
-            g = self._gauges[name] = Gauge(name)
-        return g
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
-        h = self._histograms.get(name)
-        if h is None:
-            h = self._histograms[name] = Histogram(name)
-        return h
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            return h
 
     def as_dict(self) -> "dict[str, object]":
         """Snapshot: counters/gauges as numbers, histograms as summaries."""

@@ -10,6 +10,7 @@ span begin/end, and aggregation all live in :mod:`repro.obs.summary`.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from pathlib import Path
 from typing import IO, Iterable, Protocol, runtime_checkable
@@ -61,7 +62,12 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Append events to a JSON-lines file (or any open text handle)."""
+    """Append events to a JSON-lines file (or any open text handle).
+
+    ``emit`` is thread-safe: the service layer traces from its dispatcher
+    thread and pool workers concurrently, and ``TextIOWrapper`` offers no
+    atomicity across writes, so each line is serialised under a lock.
+    """
 
     def __init__(self, path_or_file: "str | Path | IO[str]"):
         if hasattr(path_or_file, "write"):
@@ -70,17 +76,20 @@ class JsonlSink:
         else:
             self._fh = open(path_or_file, "w", encoding="utf-8")
             self._owns = True
+        self._lock = threading.Lock()
 
     def emit(self, event: Event) -> None:
         """Write the event as one compact JSON line."""
-        self._fh.write(json.dumps(event.to_json(), separators=(",", ":")))
-        self._fh.write("\n")
+        line = json.dumps(event.to_json(), separators=(",", ":")) + "\n"
+        with self._lock:
+            self._fh.write(line)
 
     def close(self) -> None:
         """Flush, and close the handle if this sink opened it."""
-        self._fh.flush()
-        if self._owns:
-            self._fh.close()
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
 
     def __enter__(self) -> "JsonlSink":
         return self

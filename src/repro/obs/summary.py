@@ -13,9 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .events import (
+    EV_BATCH_FLUSH,
+    EV_CACHE_EVICT,
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
     EV_QUERY_END,
     EV_QUERY_START,
     EV_REMOTE_ACCESS,
+    EV_REQUEST_REJECTED,
     EV_REPARTITION_DECISION,
     EV_STEAL_FAIL,
     EV_STEAL_REPLY,
@@ -67,8 +72,21 @@ class TraceSummary:
     # -- query serving -----------------------------------------------------
     queries_executed: int = 0
     queries_solved: int = 0
-    #: per-query latencies in seconds, in completion order.
+    #: queries given up on under the ``"degrade"`` policy.
+    queries_abandoned: int = 0
+    #: per-query latencies in seconds, in completion order (abandoned
+    #: queries excluded — they never produced an answer).
     query_latencies: "list[float]" = field(default_factory=list)
+    # -- service (cache + coalescer) ---------------------------------------
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    batches_flushed: int = 0
+    #: coalesced batch sizes, in flush order.
+    batch_sizes: "list[int]" = field(default_factory=list)
+    #: flush reason ("full", "linger", "drain") -> count.
+    flush_reasons: "dict[str, int]" = field(default_factory=dict)
+    requests_rejected: int = 0
     # -- other point events ------------------------------------------------
     remote_accesses: int = 0
     repartition_decisions: "list[dict]" = field(default_factory=list)
@@ -91,6 +109,17 @@ class TraceSummary:
             return 0.0
         i = min(int(q / 100 * (len(lats) - 1) + 0.5), len(lats) - 1)
         return lats[i]
+
+    def cache_hit_rate(self) -> float:
+        """Snapshot-cache hits over all lookups (0.0 with no traffic)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size (0.0 with no flushes)."""
+        return (
+            sum(self.batch_sizes) / len(self.batch_sizes) if self.batch_sizes else 0.0
+        )
 
     @property
     def total_busy(self) -> float:
@@ -159,7 +188,23 @@ def summarize_events(events: "list[Event]") -> TraceSummary:
             s.queries_executed += 1
             if ev.attrs.get("solved"):
                 s.queries_solved += 1
-            s.query_latencies.append(float(ev.attrs.get("latency", 0.0)))
+            if ev.attrs.get("abandoned"):
+                s.queries_abandoned += 1
+            else:
+                s.query_latencies.append(float(ev.attrs.get("latency", 0.0)))
+        elif ev.name == EV_CACHE_HIT:
+            s.cache_hits += 1
+        elif ev.name == EV_CACHE_MISS:
+            s.cache_misses += 1
+        elif ev.name == EV_CACHE_EVICT:
+            s.cache_evictions += 1
+        elif ev.name == EV_BATCH_FLUSH:
+            s.batches_flushed += 1
+            s.batch_sizes.append(int(ev.attrs.get("size", 0)))
+            reason = str(ev.attrs.get("reason", "unknown"))
+            s.flush_reasons[reason] = s.flush_reasons.get(reason, 0) + 1
+        elif ev.name == EV_REQUEST_REJECTED:
+            s.requests_rejected += 1
         elif ev.name == EV_REMOTE_ACCESS:
             s.remote_accesses += int(ev.attrs.get("count", 1))
         elif ev.name == EV_REPARTITION_DECISION:
@@ -236,6 +281,31 @@ def format_summary(s: TraceSummary) -> str:
                 ]],
             ),
         ]
+    if s.cache_hits or s.cache_misses or s.batches_flushed or s.requests_rejected:
+        lines += [
+            "",
+            "Service (snapshot cache + coalescer)",
+            format_table(
+                ["hits", "misses", "hit rate", "evictions", "batches",
+                 "mean batch", "rejected"],
+                [[
+                    s.cache_hits,
+                    s.cache_misses,
+                    f"{s.cache_hit_rate():.0%}",
+                    s.cache_evictions,
+                    s.batches_flushed,
+                    f"{s.mean_batch_size():.1f}",
+                    s.requests_rejected,
+                ]],
+            ),
+        ]
+        if s.flush_reasons:
+            reasons = ", ".join(
+                f"{r}: {n}" for r, n in sorted(s.flush_reasons.items())
+            )
+            lines.append(f"flush reasons — {reasons}")
+        if s.queries_abandoned:
+            lines.append(f"abandoned queries: {s.queries_abandoned}")
     if s.task_retries or s.tasks_abandoned or s.worker_deaths:
         lines += [
             "",

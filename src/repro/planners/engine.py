@@ -87,6 +87,11 @@ class BatchQueryResult:
     abandoned: "list[int]" = field(default_factory=list)
     retries: int = 0
     worker_deaths: int = 0
+    #: query index -> attempts consumed (1 = first try succeeded), the
+    #: same accounting ``plan()`` surfaces via ``PoolResult.attempts`` —
+    #: abandoned queries appear here with their full failed-attempt count
+    #: instead of silently vanishing.
+    attempts: "dict[int, int]" = field(default_factory=dict)
 
     @property
     def num_queries(self) -> int:
@@ -98,8 +103,16 @@ class BatchQueryResult:
         return self.num_queries / self.wall_time if self.wall_time > 0 else 0.0
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank per-query latency percentile (``q`` in [0, 100])."""
-        lats = sorted(self.latencies)
+        """Nearest-rank per-query latency percentile (``q`` in [0, 100]).
+
+        Abandoned queries never produced an answer, so their entries
+        (setup share only) are excluded — a degraded run must not report
+        artificially low tail latencies for work it gave up on.
+        """
+        lost = set(self.abandoned)
+        lats = sorted(
+            lat for i, lat in enumerate(self.latencies) if i not in lost
+        )
         if not lats:
             return 0.0
         i = min(int(q / 100 * (len(lats) - 1) + 0.5), len(lats) - 1)
@@ -291,6 +304,8 @@ class QueryEngine:
         task_timeout: "float | None" = None,
         fault_injector=None,
         retry_seed: int = 0,
+        execution=None,
+        faults=None,
     ) -> BatchQueryResult:
         """Solve a batch of queries with amortised setup.
 
@@ -301,7 +316,13 @@ class QueryEngine:
         (``backend``, ``failure_policy``, ``task_timeout``,
         ``fault_injector`` pass straight through, so retry/degrade
         semantics match regional planning; abandoned queries surface as
-        ``None`` results listed in ``abandoned``).
+        ``None`` results listed in ``abandoned``, with their consumed
+        attempts in ``attempts`` — the same accounting ``plan()``
+        surfaces).  An :class:`~repro.spec.ExecutionPolicy` /
+        :class:`~repro.spec.FaultPolicy` pair may be passed instead of
+        the loose kwargs (``execution`` supplies ``workers``/``backend``,
+        ``faults`` supplies the failure knobs); specs win over the flat
+        spellings.
 
         With a tracer, the batch runs inside a ``serve`` span and each
         query emits ``EV_QUERY_START`` / ``EV_QUERY_END`` (attrs:
@@ -309,6 +330,14 @@ class QueryEngine:
         the per-query events after the pool drains, so their timestamps
         are post-hoc while latencies stay measured.
         """
+        if execution is not None:
+            workers = execution.workers
+            backend = execution.backend
+        if faults is not None:
+            failure_policy = faults.policy
+            max_retries = faults.max_retries
+            task_timeout = faults.task_timeout
+            fault_injector = faults.injector
         t0 = time.perf_counter()
         starts_l: "list[np.ndarray]" = []
         goals_l: "list[np.ndarray]" = []
@@ -331,6 +360,7 @@ class QueryEngine:
         results: "list[QueryResult | None]" = [None] * q
         latencies = [0.0] * q
         abandoned: "list[int]" = []
+        attempts: "dict[int, int]" = {}
         retries = 0
         deaths = 0
         if tr:
@@ -357,6 +387,7 @@ class QueryEngine:
                     results[i] = pool.results.get(i)
                     latencies[i] = share + pool.per_task_time.get(i, 0.0)
                 abandoned = list(pool.abandoned)
+                attempts = dict(pool.attempts)
                 retries = pool.retries
                 deaths = pool.worker_deaths
                 if tr:
@@ -377,6 +408,7 @@ class QueryEngine:
                     ts = time.perf_counter()
                     results[i] = _solve_prepared(self.frozen, jobs, self._sid, self._gid, i)
                     latencies[i] = share + (time.perf_counter() - ts)
+                    attempts[i] = 1
                     if tr:
                         tr.point(
                             EV_QUERY_END,
@@ -396,4 +428,5 @@ class QueryEngine:
             abandoned=abandoned,
             retries=retries,
             worker_deaths=deaths,
+            attempts=attempts,
         )

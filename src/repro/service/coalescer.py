@@ -1,0 +1,174 @@
+"""Request coalescing: per-workload batches under a latency budget.
+
+The query engine's fixed costs (NN index touch, CSR handoff, pool spin)
+amortise over a batch, so the service wants *large* batches — but a
+request sitting in a queue is pure added latency, so it also wants
+*prompt* ones.  :class:`BatchQueue` resolves the tension with the classic
+two-trigger rule:
+
+* flush when a key's queue reaches ``max_batch`` requests (**full**), or
+* flush when its oldest request has waited ``max_linger`` seconds
+  (**linger**), whichever comes first; a closing service flushes every
+  remainder (**drain**).
+
+Requests are grouped by workload cache key — queries against different
+roadmaps can never share a :meth:`QueryEngine.solve_many` call — and the
+structure is deliberately *pure*: time is an argument, not a clock read,
+so unit tests exercise full/linger/drain flushes deterministically and
+the dispatcher thread in :mod:`repro.service.service` owns all real
+timing.  Total occupancy is capped at ``max_queue`` for admission
+control; :meth:`offer` refuses beyond it and the caller decides whether
+to block or reject.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..spec import WorkloadSpec
+
+__all__ = ["BatchQueue", "Flush", "Pending"]
+
+#: Flush trigger names, in the order they are checked.
+FLUSH_REASONS = ("full", "linger", "drain")
+
+
+@dataclass(frozen=True, slots=True)
+class Pending:
+    """One queued request: its payload plus the enqueue timestamp."""
+
+    item: Any
+    enqueued_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class Flush:
+    """One batch released by the coalescer.
+
+    ``waited`` is the queueing delay of the batch's *oldest* request —
+    the number the linger budget bounds (modulo key-busy serialisation).
+    """
+
+    key: str
+    spec: WorkloadSpec
+    items: "tuple[Any, ...]"
+    reason: str
+    waited: float
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class _KeyQueue:
+    """Pending requests for one workload key."""
+
+    __slots__ = ("spec", "pending")
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.pending: "deque[Pending]" = deque()
+
+
+@dataclass
+class BatchQueue:
+    """Pure, clock-free coalescing buffer (caller provides ``now``).
+
+    Not thread-safe by itself — :class:`~repro.service.service.PlanService`
+    guards it with its dispatcher condition variable.
+    """
+
+    max_batch: int = 32
+    max_linger: float = 0.010
+    max_queue: int = 1024
+    _queues: "OrderedDict[str, _KeyQueue]" = field(default_factory=OrderedDict)
+    _total: int = 0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_linger < 0:
+            raise ValueError("max_linger must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+    # -- intake --------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Total requests currently buffered across all keys."""
+        return self._total
+
+    def offer(self, key: str, spec: WorkloadSpec, item: Any, now: float) -> bool:
+        """Enqueue one request; ``False`` when the buffer is at capacity."""
+        if self._total >= self.max_queue:
+            return False
+        kq = self._queues.get(key)
+        if kq is None:
+            kq = _KeyQueue(spec)
+            self._queues[key] = kq
+        kq.pending.append(Pending(item, now))
+        self._total += 1
+        return True
+
+    # -- release -------------------------------------------------------------
+    def pop_ready(
+        self,
+        now: float,
+        busy: "Iterable[str]" = (),
+        drain: bool = False,
+    ) -> "list[Flush]":
+        """Release every batch whose trigger has fired.
+
+        Keys in ``busy`` (a batch already executing against their engine)
+        are skipped so in-flight serving keeps soaking up arrivals — the
+        next flush after the key frees up is correspondingly larger.  A
+        flush takes at most ``max_batch`` items, leaving the rest queued;
+        with ``drain=True`` every remaining request flushes regardless of
+        triggers (used by ``close``).
+        """
+        busy = set(busy)
+        flushes: "list[Flush]" = []
+        for key in list(self._queues):
+            if key in busy:
+                continue
+            kq = self._queues[key]
+            while kq.pending:
+                n = len(kq.pending)
+                waited = now - kq.pending[0].enqueued_at
+                if n >= self.max_batch:
+                    reason = "full"
+                elif waited >= self.max_linger:
+                    reason = "linger"
+                elif drain:
+                    reason = "drain"
+                else:
+                    break
+                take = min(n, self.max_batch)
+                items = tuple(kq.pending.popleft().item for _ in range(take))
+                self._total -= take
+                flushes.append(Flush(key, kq.spec, items, reason, max(waited, 0.0)))
+                if not drain:
+                    # One batch per key per wake-up: the key is about to
+                    # become busy, so further flushes would just pile up
+                    # behind it out of order.
+                    break
+            if not kq.pending:
+                del self._queues[key]
+        return flushes
+
+    def next_deadline(self, busy: "Iterable[str]" = ()) -> "float | None":
+        """Earliest instant a linger trigger can fire, or ``None`` if idle.
+
+        The dispatcher sleeps until this deadline (or the next offer /
+        batch completion, whichever wakes it first).
+        """
+        busy = set(busy)
+        deadline: "float | None" = None
+        for key, kq in self._queues.items():
+            if key in busy or not kq.pending:
+                continue
+            t = kq.pending[0].enqueued_at + self.max_linger
+            if deadline is None or t < deadline:
+                deadline = t
+        return deadline

@@ -1,0 +1,507 @@
+"""repro.spec — the layered request vocabulary shared by every entry point.
+
+Historically :class:`~repro.api.PlanRequest` was one flat record of 20+
+fields mixing four unrelated concerns.  This module splits it into
+composable specs with **one canonical name per knob**:
+
+* :class:`WorkloadSpec` — *what to plan*: environment, planner, region
+  and sample budgets, seed, extra workload options.  Also the unit of
+  identity for the serving layer: :meth:`WorkloadSpec.cache_key` is the
+  canonical content hash the :class:`~repro.service.RoadmapCache` keys
+  snapshots by.
+* :class:`ExecutionPolicy` — *where/how to run it*: execution ``mode``
+  (canonical name for the old flat ``execution`` string), load-balancing
+  strategy, partitioner, PE count, topology and steal granularity for the
+  simulated machine; worker count, backend and chunk size for the local
+  pool.
+* :class:`FaultPolicy` — *what to do when it breaks*: failure ``policy``
+  (canonical name for the old ``failure_policy``), retry budget, task
+  timeout, and the deterministic ``injector`` (old ``fault_injector``).
+* :class:`ObsConfig` — *what to record*: the tracer.
+
+:class:`PlanRequest` remains the aggregate the :func:`repro.api.plan`
+facade consumes, but is now a thin **frozen** wrapper over the four specs:
+
+    >>> from repro import PlanRequest, WorkloadSpec, ExecutionPolicy, plan
+    >>> report = plan(PlanRequest(
+    ...     workload=WorkloadSpec(environment="med-cube", num_regions=512),
+    ...     execution=ExecutionPolicy(strategy="hybrid", num_pes=96),
+    ... ))
+
+The old flat-kwarg construction keeps working through a compatibility
+shim that routes every legacy spelling to its canonical field and emits a
+single :class:`DeprecationWarning` per call:
+
+    >>> PlanRequest(num_regions=512, strategy="hybrid", num_pes=96)  # doctest: +SKIP
+
+Legacy flat *reads* (``request.num_pes`` …) remain available as plain
+properties so existing callers and reports keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .cspace.space import ConfigurationSpace, EuclideanCSpace
+from .geometry import environments
+from .runtime.local_pool import FAILURE_POLICIES
+
+if TYPE_CHECKING:
+    from .obs.tracer import Tracer
+    from .runtime.faults import FaultInjector
+    from .runtime.topology import ClusterTopology
+
+__all__ = [
+    "WorkloadSpec",
+    "ExecutionPolicy",
+    "FaultPolicy",
+    "ObsConfig",
+    "PlanRequest",
+]
+
+_PLANNERS = ("prm", "rrt")
+_MODES = ("simulate", "local")
+_STRATEGIES = ("none", "repartition", "rand-8", "rand-k", "diffusive", "hybrid")
+_BACKENDS = ("thread", "process")
+
+
+def _environment_fingerprint(env: "str | object") -> bytes:
+    """Stable content identity of an environment for cache keying.
+
+    Catalog names hash by name; :class:`~repro.geometry.environment
+    .Environment` instances hash by their exact bounds and obstacle
+    arrays (content-addressed — two structurally identical environments
+    share a key); anything else falls back to ``repr``, which is stable
+    within a process.
+    """
+    if isinstance(env, str):
+        return b"name:" + env.encode()
+    bounds = getattr(env, "bounds", None)
+    obstacles = getattr(env, "obstacles", None)
+    if bounds is not None and obstacles is not None:
+        h = hashlib.sha256()
+        h.update(bounds.lo.tobytes())
+        h.update(bounds.hi.tobytes())
+        for obs in obstacles:
+            h.update(obs.lo.tobytes())
+            h.update(obs.hi.tobytes())
+        return b"env:" + h.digest()
+    return b"repr:" + repr(env).encode()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What to plan: the problem definition and its construction budget.
+
+    This is the serving layer's unit of identity — two specs with equal
+    :meth:`cache_key` build bit-identical roadmaps, so the
+    :class:`~repro.service.RoadmapCache` may serve either from one frozen
+    snapshot.
+    """
+
+    #: benchmark environment name (see ``repro.geometry.environments``)
+    #: or an Environment instance.
+    environment: "str | object" = "med-cube"
+    planner: str = "prm"
+    num_regions: int = 256
+    #: PRM per-region sample budget (the paper's N / Nr).
+    samples_per_region: int = 8
+    #: RRT per-branch node budget.
+    nodes_per_region: int = 12
+    seed: int = 0
+    #: extra keyword arguments forwarded to ``build_*_workload``.
+    options: "Mapping[str, Any]" = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-range or unknown field."""
+        if self.planner not in _PLANNERS:
+            raise ValueError(f"planner must be one of {_PLANNERS}, got {self.planner!r}")
+        if self.num_regions < 1:
+            raise ValueError("num_regions must be >= 1")
+        if self.samples_per_region < 1:
+            raise ValueError("samples_per_region must be >= 1")
+        if self.nodes_per_region < 1:
+            raise ValueError("nodes_per_region must be >= 1")
+
+    def resolve_cspace(self) -> ConfigurationSpace:
+        """Materialise the configuration space (looking the environment up
+        by catalog name when given as a string)."""
+        env = self.environment
+        if isinstance(env, str):
+            env = environments.by_name(env)
+        return EuclideanCSpace(env)
+
+    def cache_key(self) -> str:
+        """Canonical content hash of (environment, planner params, seed).
+
+        Every field that can change the built roadmap participates; two
+        workloads differing only in a single option — the seed included —
+        never collide.  ``options`` values without a JSON form hash by
+        ``repr`` (stable within one process, which is the cache's scope).
+        """
+        h = hashlib.sha256()
+        h.update(_environment_fingerprint(self.environment))
+        payload = {
+            "planner": self.planner,
+            "num_regions": self.num_regions,
+            "samples_per_region": self.samples_per_region,
+            "nodes_per_region": self.nodes_per_region,
+            "seed": self.seed,
+            "options": dict(self.options),
+        }
+        h.update(json.dumps(payload, sort_keys=True, default=repr).encode())
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Where and how to run: simulated machine or local pool, one record.
+
+    ``mode`` is the canonical name for what the flat API called
+    ``execution``; ``workers`` is the one spelling for pool size (the
+    ``n_workers`` / ``n_pes`` variants are gone — ``num_pes`` survives
+    only as the *simulated* PE count, a genuinely different quantity).
+    """
+
+    #: "simulate" replays on the virtual machine; "local" runs the
+    #: regional planners on this machine's cores.
+    mode: str = "simulate"
+    #: load-balancing strategy: "none", "repartition", "rand-8",
+    #: "diffusive" or "hybrid" (simulate mode).
+    strategy: str = "none"
+    #: initial region->PE distribution: "block", "greedy" or "rcb".
+    partitioner: str = "block"
+    #: simulated machine size.
+    num_pes: int = 16
+    topology: "ClusterTopology | None" = None
+    steal_chunk: "str | int" = "half"
+    #: local pool size (also QueryEngine batch dispatch width).
+    workers: int = 4
+    backend: str = "thread"
+    #: tasks per submission (>1 amortises dispatch for tiny regions).
+    chunksize: int = 1
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-range or unknown field."""
+        if self.mode not in _MODES:
+            raise ValueError(f"execution must be one of {_MODES}, got {self.mode!r}")
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
+        if self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """What to do when tasks fail: policy, budget, timeout, chaos plan.
+
+    ``policy`` is the canonical name for the flat ``failure_policy``;
+    ``injector`` for ``fault_injector``.
+    """
+
+    #: "fail_fast" (default), "retry" (bounded retries with backoff), or
+    #: "degrade" (abandon exhausted tasks and return a partial result).
+    policy: str = "fail_fast"
+    max_retries: int = 2
+    #: seconds allowed per task before the attempt counts as failed
+    #: (local execution; None disables timeouts).
+    task_timeout: "float | None" = None
+    #: deterministic chaos plan (see ``repro.runtime.faults``); None
+    #: injects nothing and costs nothing.
+    injector: "FaultInjector | None" = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-range or unknown field."""
+        if self.policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, got {self.policy!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+
+    def pool_kwargs(self, retry_seed: int = 0) -> "dict[str, Any]":
+        """This policy as :func:`repro.runtime.run_tasks_parallel` kwargs."""
+        return {
+            "failure_policy": self.policy,
+            "max_retries": self.max_retries,
+            "task_timeout": self.task_timeout,
+            "fault_injector": self.injector,
+            "retry_seed": retry_seed,
+        }
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to record: the observability hook."""
+
+    #: None (default) records nothing at zero overhead.
+    tracer: "Tracer | None" = None
+
+    def validate(self) -> None:
+        """Nothing to range-check; present for protocol symmetry."""
+
+
+# -- the aggregate -----------------------------------------------------------
+
+#: legacy flat kwarg -> (aggregate field, spec field).  ``execution`` is
+#: special-cased in ``__init__`` (a string is the legacy mode spelling).
+_FLAT_MAP = {
+    "environment": ("workload", "environment"),
+    "planner": ("workload", "planner"),
+    "num_regions": ("workload", "num_regions"),
+    "samples_per_region": ("workload", "samples_per_region"),
+    "nodes_per_region": ("workload", "nodes_per_region"),
+    "seed": ("workload", "seed"),
+    "workload_options": ("workload", "options"),
+    "execution": ("execution", "mode"),
+    "strategy": ("execution", "strategy"),
+    "partitioner": ("execution", "partitioner"),
+    "num_pes": ("execution", "num_pes"),
+    "topology": ("execution", "topology"),
+    "steal_chunk": ("execution", "steal_chunk"),
+    "workers": ("execution", "workers"),
+    "backend": ("execution", "backend"),
+    "chunksize": ("execution", "chunksize"),
+    "failure_policy": ("faults", "policy"),
+    "max_retries": ("faults", "max_retries"),
+    "task_timeout": ("faults", "task_timeout"),
+    "fault_injector": ("faults", "injector"),
+    "tracer": ("obs", "tracer"),
+}
+
+_SPEC_TYPES = {
+    "workload": WorkloadSpec,
+    "execution": ExecutionPolicy,
+    "faults": FaultPolicy,
+    "obs": ObsConfig,
+}
+
+
+class PlanRequest:
+    """Everything :func:`repro.api.plan` needs: a frozen aggregate of
+    :class:`WorkloadSpec`, :class:`ExecutionPolicy`, :class:`FaultPolicy`
+    and :class:`ObsConfig`.
+
+    Construct it from spec objects (canonical), or from the legacy flat
+    kwargs (deprecated — a :class:`DeprecationWarning` is emitted and the
+    values are routed into the spec fields).  Mixing a spec object with
+    flat kwargs that belong to the same spec is an error: there must be
+    exactly one place each knob comes from.
+    """
+
+    __slots__ = ("workload", "execution", "faults", "obs")
+
+    def __init__(
+        self,
+        workload: "WorkloadSpec | None" = None,
+        execution: "ExecutionPolicy | str | None" = None,
+        faults: "FaultPolicy | None" = None,
+        obs: "ObsConfig | None" = None,
+        **flat,
+    ):
+        if isinstance(execution, str):  # legacy: execution="local"
+            flat["execution"] = execution
+            execution = None
+        specs: "dict[str, Any]" = {
+            "workload": workload, "execution": execution, "faults": faults, "obs": obs,
+        }
+        for name, value in specs.items():
+            if value is not None and not isinstance(value, _SPEC_TYPES[name]):
+                raise TypeError(
+                    f"{name} must be a {_SPEC_TYPES[name].__name__}, "
+                    f"got {type(value).__name__}"
+                )
+        if flat:
+            unknown = set(flat) - set(_FLAT_MAP)
+            if unknown:
+                raise TypeError(
+                    f"unknown PlanRequest field(s): {sorted(unknown)}"
+                )
+            warnings.warn(
+                "flat PlanRequest kwargs are deprecated; pass WorkloadSpec / "
+                "ExecutionPolicy / FaultPolicy / ObsConfig spec objects "
+                f"(got flat: {sorted(flat)})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides: "dict[str, dict[str, Any]]" = {}
+            for key, value in flat.items():
+                spec_name, spec_field = _FLAT_MAP[key]
+                if specs[spec_name] is not None:
+                    raise TypeError(
+                        f"cannot mix flat kwarg {key!r} with an explicit "
+                        f"{spec_name} spec"
+                    )
+                overrides.setdefault(spec_name, {})[spec_field] = value
+            for spec_name, kwargs in overrides.items():
+                specs[spec_name] = _SPEC_TYPES[spec_name](**kwargs)
+        for name, value in specs.items():
+            if value is None:
+                value = _SPEC_TYPES[name]()
+            object.__setattr__(self, name, value)
+
+    # -- immutability --------------------------------------------------------
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            f"PlanRequest is frozen; use replace({name}=...) to derive a new one"
+        )
+
+    def replace(self, **changes) -> "PlanRequest":
+        """A copy with the given spec fields replaced (canonical names)."""
+        unknown = set(changes) - set(_SPEC_TYPES)
+        if unknown:
+            raise TypeError(f"unknown spec field(s): {sorted(unknown)}")
+        kwargs = {name: getattr(self, name) for name in _SPEC_TYPES}
+        kwargs.update(changes)
+        return PlanRequest(**kwargs)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PlanRequest):
+            return NotImplemented
+        return all(getattr(self, n) == getattr(other, n) for n in _SPEC_TYPES)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanRequest(workload={self.workload!r}, execution={self.execution!r}, "
+            f"faults={self.faults!r}, obs={self.obs!r})"
+        )
+
+    # -- protocol ------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-range or unknown field."""
+        self.workload.validate()
+        self.execution.validate()
+        self.faults.validate()
+        self.obs.validate()
+
+    def resolve_cspace(self) -> ConfigurationSpace:
+        """Materialise the workload's configuration space."""
+        return self.workload.resolve_cspace()
+
+    # -- legacy flat reads ---------------------------------------------------
+    # One property per pre-redesign field so existing callers (and the
+    # report accessors) keep reading the names they always did.  The one
+    # intentional change: ``request.execution`` is now the ExecutionPolicy
+    # spec — read ``request.execution.mode`` for the old string.
+
+    @property
+    def environment(self):
+        """Legacy read of ``workload.environment``."""
+        return self.workload.environment
+
+    @property
+    def planner(self) -> str:
+        """Legacy read of ``workload.planner``."""
+        return self.workload.planner
+
+    @property
+    def num_regions(self) -> int:
+        """Legacy read of ``workload.num_regions``."""
+        return self.workload.num_regions
+
+    @property
+    def samples_per_region(self) -> int:
+        """Legacy read of ``workload.samples_per_region``."""
+        return self.workload.samples_per_region
+
+    @property
+    def nodes_per_region(self) -> int:
+        """Legacy read of ``workload.nodes_per_region``."""
+        return self.workload.nodes_per_region
+
+    @property
+    def seed(self) -> int:
+        """Legacy read of ``workload.seed``."""
+        return self.workload.seed
+
+    @property
+    def workload_options(self) -> "Mapping[str, Any]":
+        """Legacy read of ``workload.options``."""
+        return self.workload.options
+
+    @property
+    def strategy(self) -> str:
+        """Legacy read of ``execution.strategy``."""
+        return self.execution.strategy
+
+    @property
+    def partitioner(self) -> str:
+        """Legacy read of ``execution.partitioner``."""
+        return self.execution.partitioner
+
+    @property
+    def num_pes(self) -> int:
+        """Legacy read of ``execution.num_pes``."""
+        return self.execution.num_pes
+
+    @property
+    def topology(self):
+        """Legacy read of ``execution.topology``."""
+        return self.execution.topology
+
+    @property
+    def steal_chunk(self):
+        """Legacy read of ``execution.steal_chunk``."""
+        return self.execution.steal_chunk
+
+    @property
+    def workers(self) -> int:
+        """Legacy read of ``execution.workers``."""
+        return self.execution.workers
+
+    @property
+    def backend(self) -> str:
+        """Legacy read of ``execution.backend``."""
+        return self.execution.backend
+
+    @property
+    def chunksize(self) -> int:
+        """Legacy read of ``execution.chunksize``."""
+        return self.execution.chunksize
+
+    @property
+    def failure_policy(self) -> str:
+        """Legacy read of ``faults.policy``."""
+        return self.faults.policy
+
+    @property
+    def max_retries(self) -> int:
+        """Legacy read of ``faults.max_retries``."""
+        return self.faults.max_retries
+
+    @property
+    def task_timeout(self) -> "float | None":
+        """Legacy read of ``faults.task_timeout``."""
+        return self.faults.task_timeout
+
+    @property
+    def fault_injector(self):
+        """Legacy read of ``faults.injector``."""
+        return self.faults.injector
+
+    @property
+    def tracer(self):
+        """Legacy read of ``obs.tracer``."""
+        return self.obs.tracer
+
+
+def _spec_field_names() -> "set[str]":
+    """Every canonical field name across the four specs (for docs/tests)."""
+    names: "set[str]" = set()
+    for spec in _SPEC_TYPES.values():
+        names.update(f.name for f in fields(spec))
+    return names

@@ -1,0 +1,126 @@
+"""Tests for the PlanService load-generator bench (repro.bench.serve)."""
+
+import json
+
+import pytest
+
+from repro.bench import serve
+
+#: A sub-smoke scale so the whole suite runs in a couple of seconds.
+_TINY = {
+    "tenants": 2, "num_regions": 8, "samples_per_region": 2,
+    "queries_per_tenant": 6, "baseline_requests": 12,
+    "closed_clients": 4, "closed_requests": 24,
+    "open_requests": 24, "open_rate": 800.0,
+    "max_batch": 4, "max_linger": 0.002, "repeats": 1,
+}
+
+
+@pytest.fixture
+def tiny_scale(monkeypatch):
+    monkeypatch.setitem(serve.SCALES, "tiny", _TINY)
+    return "tiny"
+
+
+@pytest.fixture(scope="module")
+def tiny_rows():
+    """One shared tiny run (the suite asserts parity internally)."""
+    scales = dict(serve.SCALES)
+    serve.SCALES["tiny"] = _TINY
+    try:
+        return serve.run_suite("tiny")
+    finally:
+        serve.SCALES.clear()
+        serve.SCALES.update(scales)
+
+
+class TestRunSuite:
+    def test_rows_present_and_parity_clean(self, tiny_rows):
+        tput = tiny_rows["serve_throughput"]
+        lat = tiny_rows["serve_latency"]
+        assert tput["parity_cached"] is True
+        assert tput["parity_uncached"] is True
+        assert tput["baseline_qps"] > 0
+        assert tput["serve_qps"] > 0
+        assert 0.0 <= tput["cache_hit_rate"] <= 1.0
+        assert lat["closed_p999_ms"] >= lat["closed_p50_ms"] >= 0
+        assert lat["open_p999_ms"] >= lat["open_p50_ms"] >= 0
+
+    def test_required_fields_all_present(self, tiny_rows):
+        for name, fields in serve._SERVE_REQUIRED.items():
+            for f in fields:
+                assert f in tiny_rows[name], (name, f)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            serve.run_suite("galactic")
+
+
+class TestValidate:
+    def _payload(self, tiny_rows):
+        return {"suite": "repro-perf", "scale": "tiny", "benchmarks": dict(tiny_rows)}
+
+    def test_valid_payload_passes(self, tiny_rows):
+        assert serve.validate(self._payload(tiny_rows)) == []
+
+    def test_parity_false_is_flagged(self, tiny_rows):
+        payload = self._payload(tiny_rows)
+        payload["benchmarks"]["serve_throughput"] = dict(
+            payload["benchmarks"]["serve_throughput"], parity_cached=False
+        )
+        assert any("parity_cached" in p for p in serve.validate(payload))
+
+    def test_missing_rows_flagged(self):
+        payload = {"suite": "repro-perf", "benchmarks": {}}
+        problems = serve.validate(payload)
+        assert any("serve_throughput" in p for p in problems)
+        assert any("serve_latency" in p for p in problems)
+
+    def test_serve_rows_optional_in_perf_validate(self):
+        # A perf-only benchmarks dict (no serve rows) is not a problem for
+        # the row validator perf --check delegates to.
+        assert serve.validate_serve_rows({"knn": {}}) == []
+
+    def test_bad_hit_rate_flagged(self, tiny_rows):
+        payload = self._payload(tiny_rows)
+        payload["benchmarks"]["serve_throughput"] = dict(
+            payload["benchmarks"]["serve_throughput"], cache_hit_rate=1.7
+        )
+        assert any("cache_hit_rate" in p for p in serve.validate(payload))
+
+
+class TestCli:
+    def test_check_ok_and_merge(self, tiny_rows, tiny_scale, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        # Pre-existing perf payload: serve must merge, not clobber.
+        out.write_text(json.dumps({
+            "suite": "repro-perf", "scale": "smoke",
+            "benchmarks": {"knn": {"speedup": 2.0}},
+        }))
+        rc = serve.main(["--scale", tiny_scale, "--output", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert "knn" in payload["benchmarks"]
+        assert "serve_throughput" in payload["benchmarks"]
+        assert "serve_latency" in payload["benchmarks"]
+        assert serve.main(["--check", str(out)]) == 0
+
+    def test_check_rejects_malformed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"suite": "other"}))
+        assert serve.main(["--check", str(bad)]) == 1
+        assert serve.main(["--check", str(tmp_path / "missing.json")]) == 2
+
+    def test_trace_artifact_written(self, tiny_scale, tmp_path):
+        out = tmp_path / "out.json"
+        trace = tmp_path / "trace.jsonl"
+        rc = serve.main(
+            ["--scale", tiny_scale, "--output", str(out), "--trace", str(trace)]
+        )
+        assert rc == 0
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(trace)
+        names = {e.name for e in events}
+        assert "batch_flush" in names
+        assert "cache_hit" in names

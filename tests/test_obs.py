@@ -49,6 +49,25 @@ class TestMetricRegistry:
         with pytest.raises(ValueError):
             reg.counter("steals").inc(-1)
 
+    def test_counter_concurrent_increments_all_land(self):
+        import threading
+
+        reg = MetricRegistry()
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                reg.counter("served").inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("served").value == n_threads * per_thread
+
     def test_gauge(self):
         reg = MetricRegistry()
         reg.gauge("load").set(2.5)
@@ -113,6 +132,35 @@ class TestSinks:
         sink.emit(Event(ts=1.0, kind="point", name="x"))
         sink.close()  # must not close a caller-owned handle
         assert json.loads(buf.getvalue()) == {"ts": 1.0, "kind": "point", "name": "x"}
+
+    def test_jsonl_concurrent_emit_keeps_lines_intact(self, tmp_path):
+        # The service layer traces from its dispatcher thread and pool
+        # workers at once; interleaved writes must never corrupt a line.
+        import threading
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                sink.emit(
+                    Event(ts=float(i), kind="point", name="x",
+                          attrs={"tid": tid, "pad": "y" * 64})
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        events = read_jsonl(path)  # raises on any corrupted line
+        assert len(events) == n_threads * per_thread
 
     def test_parse_jsonl_rejects_garbage(self):
         with pytest.raises(ValueError, match="line 2"):

@@ -1,0 +1,288 @@
+"""Tests for the layered request API (repro.spec) and the flat-kwarg shim."""
+
+import warnings
+from dataclasses import FrozenInstanceError
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExecutionPolicy,
+    FaultPolicy,
+    ObsConfig,
+    PlanRequest,
+    WorkloadSpec,
+    plan,
+)
+from repro.geometry import environments
+from repro.spec import _FLAT_MAP, _environment_fingerprint
+
+
+class TestSpecObjects:
+    def test_specs_are_frozen(self):
+        with pytest.raises(FrozenInstanceError):
+            WorkloadSpec().num_regions = 5
+        with pytest.raises(FrozenInstanceError):
+            ExecutionPolicy().workers = 5
+
+    def test_workload_validate_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(planner="astar").validate()
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_regions=0).validate()
+
+    def test_execution_validate_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(mode="cloud").validate()
+        with pytest.raises(ValueError):
+            ExecutionPolicy(strategy="telepathy").validate()
+        with pytest.raises(ValueError):
+            ExecutionPolicy(backend="gpu").validate()
+
+    def test_fault_policy_pool_kwargs_round_trip(self):
+        fp = FaultPolicy(policy="retry", max_retries=5, task_timeout=1.5)
+        kw = fp.pool_kwargs(retry_seed=7)
+        assert kw == {
+            "failure_policy": "retry",
+            "max_retries": 5,
+            "task_timeout": 1.5,
+            "fault_injector": None,
+            "retry_seed": 7,
+        }
+
+
+class TestCacheKey:
+    def test_equal_specs_share_a_key(self):
+        a = WorkloadSpec(environment="med-cube", num_regions=32, seed=4)
+        b = WorkloadSpec(environment="med-cube", num_regions=32, seed=4)
+        assert a.cache_key() == b.cache_key()
+
+    def test_different_seed_changes_the_key(self):
+        a = WorkloadSpec(seed=0)
+        b = WorkloadSpec(seed=1)
+        assert a.cache_key() != b.cache_key()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"planner": "rrt"},
+            {"num_regions": 57},
+            {"samples_per_region": 9},
+            {"nodes_per_region": 13},
+            {"environment": "maze-2d"},
+            {"options": {"k_closest": 4}},
+        ],
+    )
+    def test_every_roadmap_shaping_field_participates(self, changes):
+        base = WorkloadSpec()
+        assert WorkloadSpec(**changes).cache_key() != base.cache_key()
+
+    def test_environment_instances_hash_by_content(self):
+        e1 = environments.by_name("med-cube")
+        e2 = environments.by_name("med-cube")
+        assert e1 is not e2
+        assert _environment_fingerprint(e1) == _environment_fingerprint(e2)
+        k1 = WorkloadSpec(environment=e1).cache_key()
+        k2 = WorkloadSpec(environment=e2).cache_key()
+        assert k1 == k2
+
+    def test_name_and_instance_keys_differ(self):
+        # A catalog name and a materialised instance are different
+        # identities on purpose: the name is the stable cross-process key.
+        by_name = WorkloadSpec(environment="med-cube").cache_key()
+        by_inst = WorkloadSpec(
+            environment=environments.by_name("med-cube")
+        ).cache_key()
+        assert by_name != by_inst
+
+
+class TestPlanRequestAggregate:
+    def test_defaults(self):
+        req = PlanRequest()
+        assert req.workload == WorkloadSpec()
+        assert req.execution == ExecutionPolicy()
+        assert req.faults == FaultPolicy()
+        assert req.obs == ObsConfig()
+        req.validate()
+
+    def test_frozen(self):
+        req = PlanRequest()
+        with pytest.raises(AttributeError, match="frozen"):
+            req.workload = WorkloadSpec()
+
+    def test_wrong_spec_type_raises(self):
+        with pytest.raises(TypeError, match="WorkloadSpec"):
+            PlanRequest(workload=ExecutionPolicy())
+        with pytest.raises(TypeError, match="FaultPolicy"):
+            PlanRequest(faults={"policy": "retry"})
+
+    def test_unknown_flat_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unknown PlanRequest field"):
+            PlanRequest(n_workers=4)
+
+    def test_mixing_flat_with_same_spec_raises(self):
+        with pytest.raises(TypeError, match="cannot mix"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                PlanRequest(workload=WorkloadSpec(), num_regions=32)
+
+    def test_flat_kwarg_with_other_spec_is_fine(self):
+        with pytest.warns(DeprecationWarning):
+            req = PlanRequest(workload=WorkloadSpec(num_regions=8), num_pes=4)
+        assert req.workload.num_regions == 8
+        assert req.execution.num_pes == 4
+
+    def test_replace_derives_a_new_request(self):
+        req = PlanRequest()
+        other = req.replace(execution=ExecutionPolicy(num_pes=99))
+        assert other.execution.num_pes == 99
+        assert req.execution.num_pes == ExecutionPolicy().num_pes
+        assert other != req
+        with pytest.raises(TypeError, match="unknown spec field"):
+            req.replace(num_pes=3)
+
+    def test_equality(self):
+        assert PlanRequest() == PlanRequest()
+        assert PlanRequest(workload=WorkloadSpec(seed=1)) != PlanRequest()
+
+
+class TestFlatShim:
+    def test_flat_kwargs_warn_once(self):
+        with pytest.warns(DeprecationWarning, match="flat PlanRequest kwargs"):
+            PlanRequest(num_regions=32, strategy="hybrid", num_pes=4)
+
+    def test_spec_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PlanRequest(workload=WorkloadSpec(num_regions=32))
+
+    def test_every_flat_kwarg_routes_to_its_canonical_field(self):
+        flat = {
+            "environment": "maze-2d",
+            "planner": "rrt",
+            "num_regions": 7,
+            "samples_per_region": 3,
+            "nodes_per_region": 5,
+            "seed": 11,
+            "workload_options": {"k_closest": 2},
+            "execution": "local",
+            "strategy": "hybrid",
+            "partitioner": "greedy",
+            "num_pes": 3,
+            "steal_chunk": 2,
+            "workers": 2,
+            "backend": "thread",
+            "chunksize": 4,
+            "failure_policy": "degrade",
+            "max_retries": 9,
+            "task_timeout": 2.0,
+        }
+        with pytest.warns(DeprecationWarning):
+            req = PlanRequest(**flat)
+        # Legacy property reads give back exactly what went in...
+        for key, value in flat.items():
+            if key == "execution":
+                assert req.execution.mode == "local"
+            elif key == "workload_options":
+                assert req.workload_options == value
+            else:
+                assert getattr(req, key) == value
+        # ...and the canonical homes hold the same values.
+        assert req.workload.planner == "rrt"
+        assert req.execution.strategy == "hybrid"
+        assert req.faults.policy == "degrade"
+
+    def test_legacy_execution_string_still_validates(self):
+        with pytest.warns(DeprecationWarning):
+            req = PlanRequest(execution="cloud")
+        with pytest.raises(ValueError):
+            req.validate()
+
+    def test_flat_map_covers_only_real_spec_fields(self):
+        from dataclasses import fields
+        from repro.spec import _SPEC_TYPES
+
+        for spec_name, spec_field in _FLAT_MAP.values():
+            assert spec_field in {f.name for f in fields(_SPEC_TYPES[spec_name])}
+
+
+class TestShimParity:
+    """Old flat construction and new spec construction must produce
+    bit-identical plans."""
+
+    FLAT = dict(
+        environment="med-cube",
+        planner="prm",
+        num_regions=32,
+        samples_per_region=4,
+        strategy="hybrid",
+        num_pes=4,
+        seed=3,
+    )
+
+    def spec_request(self):
+        return PlanRequest(
+            workload=WorkloadSpec(
+                environment="med-cube",
+                planner="prm",
+                num_regions=32,
+                samples_per_region=4,
+                seed=3,
+            ),
+            execution=ExecutionPolicy(strategy="hybrid", num_pes=4),
+        )
+
+    def test_requests_compare_equal(self):
+        with pytest.warns(DeprecationWarning):
+            flat = PlanRequest(**self.FLAT)
+        assert flat == self.spec_request()
+
+    def test_reports_bit_identical(self):
+        with pytest.warns(DeprecationWarning):
+            old = plan(PlanRequest(**self.FLAT))
+        new = plan(self.spec_request())
+        assert old.total_time == new.total_time
+        assert sorted(old.roadmap.edges()) == sorted(new.roadmap.edges())
+        old_ids, old_cfg = old.roadmap.configs_array()
+        new_ids, new_cfg = new.roadmap.configs_array()
+        assert np.array_equal(old_ids, new_ids)
+        assert np.array_equal(old_cfg, new_cfg)
+        assert old.summary() == new.summary()
+
+
+class TestUnifiedEntryPoints:
+    def test_plan_accepts_bare_workload_spec(self):
+        wl = WorkloadSpec(num_regions=16, samples_per_region=2, seed=5)
+        report = plan(wl, execution=ExecutionPolicy(num_pes=2))
+        assert report.request.workload == wl
+        assert report.request.execution.num_pes == 2
+
+    def test_plan_rejects_overrides_on_full_request(self):
+        with pytest.raises(TypeError, match="overrides"):
+            plan(PlanRequest(), execution=ExecutionPolicy())
+
+    def test_bare_spec_equals_wrapped_request(self):
+        wl = WorkloadSpec(num_regions=16, samples_per_region=2, seed=5)
+        a = plan(wl)
+        b = plan(PlanRequest(workload=wl))
+        assert sorted(a.roadmap.edges()) == sorted(b.roadmap.edges())
+
+    def test_solve_queries_accepts_specs(self):
+        wl = WorkloadSpec(num_regions=16, samples_per_region=4, seed=5)
+        report = plan(wl)
+        cs = wl.resolve_cspace()
+        rng = np.random.default_rng(0)
+        lo, hi = cs.bounds.lo, cs.bounds.hi
+        queries = [(rng.uniform(lo, hi), rng.uniform(lo, hi)) for _ in range(4)]
+        flat = report.solve_queries(queries, workers=2, failure_policy="retry")
+        spec = report.solve_queries(
+            queries,
+            execution=ExecutionPolicy(workers=2),
+            faults=FaultPolicy(policy="retry"),
+        )
+        assert flat.solved == spec.solved
+        for a, b in zip(flat.results, spec.results):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.path_vertices == b.path_vertices
+                assert np.array_equal(a.path_configs, b.path_configs)

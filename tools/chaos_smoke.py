@@ -12,21 +12,20 @@ Run:  python tools/chaos_smoke.py chaos-trace.jsonl
 
 import sys
 
-from repro import Fault, FaultInjector, JsonlSink, PlanRequest, Tracer, plan
+from repro import (
+    ExecutionPolicy,
+    Fault,
+    FaultInjector,
+    FaultPolicy,
+    JsonlSink,
+    ObsConfig,
+    Tracer,
+    WorkloadSpec,
+    plan,
+)
 
-
-def _request(**kw):
-    defaults = dict(
-        planner="prm",
-        num_regions=12,
-        samples_per_region=4,
-        execution="local",
-        backend="process",
-        workers=3,
-        seed=7,
-    )
-    defaults.update(kw)
-    return PlanRequest(**defaults)
+_WORKLOAD = WorkloadSpec(planner="prm", num_regions=12, samples_per_region=4, seed=7)
+_EXECUTION = ExecutionPolicy(mode="local", backend="process", workers=3)
 
 
 def _signature(report):
@@ -37,7 +36,7 @@ def _signature(report):
 
 
 def main(trace_path: str) -> int:
-    clean = plan(_request())
+    clean = plan(_WORKLOAD, execution=_EXECUTION)
     region_ids = sorted(clean.pool.results)
     injector = FaultInjector(
         [
@@ -49,7 +48,10 @@ def main(trace_path: str) -> int:
     tracer = Tracer(sinks=[JsonlSink(trace_path)])
     try:
         chaotic = plan(
-            _request(failure_policy="retry", fault_injector=injector, tracer=tracer)
+            _WORKLOAD,
+            execution=_EXECUTION,
+            faults=FaultPolicy(policy="retry", injector=injector),
+            obs=ObsConfig(tracer=tracer),
         )
     finally:
         tracer.close()
