@@ -6,6 +6,10 @@ Planning Algorithms" (IPDPS 2014).
 
 Packages
 --------
+``repro.kernels``
+    Pluggable compute-kernel backends (bit-exact ``reference``, float32
+    blocked ``fast32``, optional numba) behind a registry; selected via
+    ``ExecutionPolicy(kernel_backend=...)``.
 ``repro.geometry``
     Workspace primitives, benchmark environments, vectorised collision.
 ``repro.cspace``
@@ -65,7 +69,7 @@ from .obs import (
 from .runtime import Fault, FaultInjector, TaskFailedError
 from .service import PlanService, RoadmapCache, ServiceConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

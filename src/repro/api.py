@@ -146,7 +146,7 @@ class PlanReport:
         return tr.metrics.as_dict() if tr is not None else None
 
     def query_engine(
-        self, k: int = 8, nn_factory=None, local_planner=None
+        self, k: int = 8, nn_factory=None, local_planner=None, kernels=None
     ) -> QueryEngine:
         """A query-serving engine over this report's roadmap.
 
@@ -155,17 +155,26 @@ class PlanReport:
         :class:`repro.planners.engine.QueryEngine`.  The engine built for
         one argument combination is cached, so repeated calls (and
         :meth:`solve_queries`) reuse the same snapshot and index.
+        ``kernels`` defaults to the plan's own
+        ``ExecutionPolicy.kernel_backend``, so a fast32 plan serves its
+        queries through fast32 kernels too.
         """
-        key = (k, nn_factory, local_planner)
+        if kernels is None:
+            kernels = self.request.execution.kernel_backend
+        key = (k, nn_factory, local_planner, kernels)
         cached = getattr(self, "_engine_cache", None)
         if cached is not None and cached[0] == key:
             return cached[1]
+        cspace = self.request.resolve_cspace()
+        if kernels is not None:
+            cspace.set_kernel_backend(kernels)
         engine = QueryEngine(
-            self.request.resolve_cspace(),
+            cspace,
             self.roadmap,
             local_planner=local_planner,
             k=k,
             nn_factory=nn_factory,
+            kernels=kernels,
         )
         self._engine_cache = (key, engine)
         return engine
@@ -258,6 +267,13 @@ def plan(
     request.validate()
     wl, ex, fa, ob = request.workload, request.execution, request.faults, request.obs
     cspace = request.resolve_cspace()
+    if ex.kernel_backend is not None:
+        # Route every collision/distance hot path of this plan through the
+        # requested repro.kernels backend.  Environments resolved by
+        # catalog name are fresh objects, so this configures only the
+        # plan's own workspace (a caller-supplied Environment instance is
+        # configured in place — the caller asked for the backend).
+        cspace.set_kernel_backend(ex.kernel_backend)
     if ex.mode == "local":
         return _plan_local(request, cspace)
     if wl.planner == "prm":

@@ -38,6 +38,7 @@ from ..core.parallel_rrt import build_rrt_workload
 from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import EuclideanCSpace
 from ..geometry import environments
+from ..kernels import get_backend
 from ..knn.brute import BruteForceNN
 from ..knn.kdtree import KDTreeNN
 from ..planners.engine import QueryEngine
@@ -56,17 +57,40 @@ SCALES = {
         "rrt_nodes": 300, "rrt_regions": 6, "rrt_nodes_per_region": 8, "repeats": 2,
         "query_vertices": 400, "query_count": 25,
         "knn_scale_points": 4000, "knn_scale_queries": 50,
+        "kernel_points": 2000, "kernel_segments": 1000,
+        "kernel_knn_stored": 1000, "kernel_knn_queries": 64,
+        "kernel_lp_pairs": 300, "kernel_prm_samples": 250, "kernel_prm_queries": 20,
     },
     "medium": {
         "prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64,
         "rrt_nodes": 2000, "rrt_regions": 16, "rrt_nodes_per_region": 20, "repeats": 5,
         "query_vertices": 2000, "query_count": 100,
         "knn_scale_points": 20000, "knn_scale_queries": 200,
+        "kernel_points": 20000, "kernel_segments": 8000,
+        "kernel_knn_stored": 4000, "kernel_knn_queries": 512,
+        "kernel_lp_pairs": 3000, "kernel_prm_samples": 1200, "kernel_prm_queries": 60,
     },
 }
 
 _ENV_NAME = "med-cube"
+#: Scene for the kernel microbenches — 125 obstacles, enough per-query
+#: work for the blocked float32 layouts to show their advantage.
+_KERNEL_ENV = "mixed-30"
+#: Decision-boundary guard for the fast32 equivalence gates: a query is
+#: *stable* when the reference verdict is unchanged after inflating or
+#: shrinking every obstacle (and shrinking the free bounds) by this much.
+_STABILITY_EPS = 1e-6
 _SEED = 42
+
+
+def _numba_version() -> "str | None":
+    """Installed numba version, or None when the optional dep is absent."""
+    try:
+        import numba
+
+        return str(numba.__version__)
+    except ImportError:
+        return None
 
 
 def _best_of(repeats: int, fn) -> "tuple[float, object]":
@@ -464,6 +488,218 @@ def bench_pool_scaling(params: dict) -> dict:
     }
 
 
+def bench_kernel_collision(params: dict) -> dict:
+    """float64 reference vs float32 blocked kernels on point and segment
+    collision queries over the mixed-30 scene.
+
+    Equivalence gate (statistical, not bit-exact): verdicts must be
+    identical on every *stable* query — one whose reference verdict
+    survives a ``_STABILITY_EPS`` perturbation of all obstacle faces.
+    Queries closer than eps to a decision boundary may flip under
+    float32 rounding, and the stable fraction is recorded so a sudden
+    drop (a backend misclassifying far from boundaries) is visible.
+    """
+    n_pts = params["kernel_points"]
+    n_seg = params["kernel_segments"]
+    env = environments.by_name(_KERNEL_ENV)
+    data = env.kernel_data()
+    ref = get_backend("reference")
+    fast = get_backend("fast32")
+    rng = np.random.default_rng(_SEED)
+    lo, hi = env.bounds.lo, env.bounds.hi
+    pts = rng.uniform(lo, hi, size=(n_pts, env.bounds.dim))
+    p = rng.uniform(lo, hi, size=(n_seg, env.bounds.dim))
+    q = np.clip(p + rng.uniform(-2.0, 2.0, size=p.shape), lo, hi)
+
+    def run(backend):
+        """One timed pass of both kernel entry points."""
+        return backend.points_free(data, pts), backend.segments_free(data, p, q)
+
+    before_s, (rp, rs) = _best_of(params["repeats"], lambda: run(ref))
+    after_s, (fp, fs) = _best_of(params["repeats"], lambda: run(fast))
+
+    plus, minus = data.inflated(_STABILITY_EPS), data.inflated(-_STABILITY_EPS)
+    stable_p = ref.points_free(plus, pts) == ref.points_free(minus, pts)
+    stable_s = ref.segments_free(plus, p, q) == ref.segments_free(minus, p, q)
+    verdicts_equal = bool(
+        np.array_equal(rp[stable_p], fp[stable_p])
+        and np.array_equal(rs[stable_s], fs[stable_s])
+    )
+    if not verdicts_equal:
+        raise AssertionError("fast32 collision verdicts diverged on stable queries")
+    return {
+        "environment": _KERNEL_ENV,
+        "n_points": n_pts,
+        "n_segments": n_seg,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "verdicts_equal_stable": verdicts_equal,
+        "stable_fraction": float((stable_p.sum() + stable_s.sum()) / (n_pts + n_seg)),
+        "_kernel_backend": "fast32",
+    }
+
+
+def bench_kernel_knn(params: dict) -> dict:
+    """float64 reference vs float32 tiled ``knn_block_min``.
+
+    Gates: distances within 1e-4 relative everywhere; neighbour ids
+    identical on every row whose reference k-th/(k+1)-th distance gap is
+    clear of float32 rounding (rows with a near-tie straddling the cut
+    may legitimately pick the other twin).
+    """
+    n = params["kernel_knn_stored"]
+    m = params["kernel_knn_queries"]
+    k = 8
+    rng = np.random.default_rng(_SEED)
+    stored = rng.uniform(0.0, 10.0, size=(n, 3))
+    queries = rng.uniform(0.0, 10.0, size=(m, 3))
+    ref = get_backend("reference")
+    fast = get_backend("fast32")
+
+    before_s, (ri, rd) = _best_of(
+        params["repeats"], lambda: ref.knn_block_min(stored, queries, k)
+    )
+    after_s, (fi, fd) = _best_of(
+        params["repeats"], lambda: fast.knn_block_min(stored, queries, k)
+    )
+
+    dists_close = bool(np.allclose(rd, fd, rtol=1e-4, atol=1e-9))
+    _ri1, rd1 = ref.knn_block_min(stored, queries, k + 1)
+    gap = rd1[:, k] - rd1[:, k - 1]
+    tiefree = gap > 1e-4 * np.maximum(rd1[:, k], 1.0)
+    ids_equal = bool(np.array_equal(ri[tiefree], fi[tiefree]))
+    if not (dists_close and ids_equal):
+        raise AssertionError("fast32 knn diverged from reference beyond tolerance")
+    return {
+        "n_stored": n,
+        "n_queries": m,
+        "k": k,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "dists_close": dists_close,
+        "ids_equal_tiefree": ids_equal,
+        "tiefree_fraction": float(tiefree.mean()),
+        "_kernel_backend": "fast32",
+    }
+
+
+def _perturbed_env(env, margin: float):
+    """The ``EnvKernelData.inflated`` perturbation as a full Environment:
+    every obstacle grown by ``margin`` (shrunk when negative), free
+    bounds shrunk by the same amount."""
+    from ..geometry.primitives import AABB
+
+    boxes = [AABB(o.lo - margin, o.hi + margin) for o in env.obstacles]
+    bounds = AABB(env.bounds.lo + margin, env.bounds.hi - margin)
+    return type(env)(bounds, boxes)
+
+
+def bench_kernel_local_plan(params: dict) -> dict:
+    """``StraightLinePlanner.batch_pairs`` with the reference backend vs a
+    per-call ``kernels="fast32"`` override on the mixed-30 c-space.
+
+    Check counts are distance-derived in float64 on the planner side, so
+    they must be *identical* under any backend; segment verdicts follow
+    the stable-query contract (perturbed-Environment guard).
+    """
+    m = params["kernel_lp_pairs"]
+    env = environments.by_name(_KERNEL_ENV)
+    cs = EuclideanCSpace(env)
+    rng = np.random.default_rng(_SEED)
+    lo, hi = cs.bounds.lo, cs.bounds.hi
+    starts = rng.uniform(lo, hi, size=(m, cs.dim))
+    ends = np.clip(starts + rng.uniform(-1.5, 1.5, size=(m, cs.dim)), lo, hi)
+    lp_ref = StraightLinePlanner(resolution=0.25)
+    lp_fast = StraightLinePlanner(resolution=0.25, kernels="fast32")
+
+    before_s, (ok0, ch0, len0) = _best_of(
+        params["repeats"], lambda: lp_ref.batch_pairs(cs, starts, ends)
+    )
+    after_s, (ok1, ch1, len1) = _best_of(
+        params["repeats"], lambda: lp_fast.batch_pairs(cs, starts, ends)
+    )
+
+    checks_equal = bool(ch0 == ch1 and np.array_equal(len0, len1))
+    csp = EuclideanCSpace(_perturbed_env(env, _STABILITY_EPS))
+    csm = EuclideanCSpace(_perturbed_env(env, -_STABILITY_EPS))
+    okp, _, _ = lp_ref.batch_pairs(csp, starts, ends)
+    okm, _, _ = lp_ref.batch_pairs(csm, starts, ends)
+    stable = okp == okm
+    verdicts_equal = bool(np.array_equal(ok0[stable], ok1[stable]))
+    if not (checks_equal and verdicts_equal):
+        raise AssertionError(
+            "fast32 local planning diverged: "
+            f"checks_equal={checks_equal} verdicts_equal={verdicts_equal}"
+        )
+    return {
+        "environment": _KERNEL_ENV,
+        "n_pairs": m,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "checks_equal": checks_equal,
+        "verdicts_equal_stable": verdicts_equal,
+        "stable_fraction": float(stable.mean()),
+        "_kernel_backend": "fast32",
+    }
+
+
+def bench_prm_build_fast32(params: dict) -> dict:
+    """End-to-end PRM build on mixed-30 under the reference backend vs
+    ``fast32`` selected through ``cspace.set_kernel_backend``.
+
+    The roadmaps need not be bit-identical (float32 verdicts may differ
+    inside the eps boundary band), so the gate is behavioural: a frozen
+    batch of queries answered by the *reference* QueryEngine over each
+    roadmap must have the same success set and path lengths within 1e-4
+    relative.
+    """
+    n = params["kernel_prm_samples"]
+    nq = params["kernel_prm_queries"]
+
+    def build(backend):
+        """One timed PRM build under ``backend`` (None = reference default)."""
+        cs = EuclideanCSpace(environments.by_name(_KERNEL_ENV))
+        if backend is not None:
+            cs.set_kernel_backend(backend)
+        prm = PRM(cs, k=6, batched=True)
+        return prm.build(n, np.random.default_rng(_SEED)).roadmap
+
+    before_s, rmap_ref = _best_of(params["repeats"], lambda: build(None))
+    after_s, rmap_fast = _best_of(params["repeats"], lambda: build("fast32"))
+
+    cs = EuclideanCSpace(environments.by_name(_KERNEL_ENV))
+    rng = np.random.default_rng(_SEED + 1)
+    lo, hi = cs.bounds.lo, cs.bounds.hi
+    queries = [(rng.uniform(lo, hi), rng.uniform(lo, hi)) for _ in range(nq)]
+    res_ref = QueryEngine(cs, rmap_ref, k=8).solve_many(queries).results
+    res_fast = QueryEngine(cs, rmap_fast, k=8).solve_many(queries).results
+    success_equal = all((a is None) == (b is None) for a, b in zip(res_ref, res_fast))
+    lengths_close = success_equal and all(
+        a is None or abs(a.length - b.length) <= 1e-4 * max(a.length, 1.0)
+        for a, b in zip(res_ref, res_fast)
+    )
+    if not (success_equal and lengths_close):
+        raise AssertionError(
+            "fast32 PRM build answered the frozen query batch differently: "
+            f"success_equal={success_equal} lengths_close={lengths_close}"
+        )
+    return {
+        "environment": _KERNEL_ENV,
+        "n_samples": n,
+        "n_queries": nq,
+        "solved": sum(r is not None for r in res_ref),
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "success_equal": success_equal,
+        "lengths_close": lengths_close,
+        "_kernel_backend": "fast32",
+    }
+
+
 _BENCHMARKS = {
     "prm_build_default_path": bench_prm_build,
     "rrt_build_default_path": bench_rrt_build,
@@ -474,6 +710,10 @@ _BENCHMARKS = {
     "query_batch": bench_query_batch,
     "knn_scaling": bench_knn_scaling,
     "pool_scaling": bench_pool_scaling,
+    "kernel_collision": bench_kernel_collision,
+    "kernel_knn": bench_kernel_knn,
+    "kernel_local_plan": bench_kernel_local_plan,
+    "prm_build_fast32": bench_prm_build_fast32,
 }
 
 #: Keys every benchmark entry must carry for the file to be well-formed.
@@ -487,7 +727,23 @@ _REQUIRED_FIELDS = {
     "query_batch": ("before_s", "after_s", "speedup", "paths_equal"),
     "knn_scaling": ("before_s", "after_s", "speedup", "neighbors_equal"),
     "pool_scaling": ("wall_s_by_workers", "speedup_4w", "cpu_count"),
+    "kernel_collision": ("before_s", "after_s", "speedup", "verdicts_equal_stable"),
+    "kernel_knn": ("before_s", "after_s", "speedup", "dists_close", "ids_equal_tiefree"),
+    "kernel_local_plan": ("before_s", "after_s", "speedup", "checks_equal", "verdicts_equal_stable"),
+    "prm_build_fast32": ("before_s", "after_s", "speedup", "success_equal", "lengths_close"),
 }
+
+#: Parity flags that must not be false in a well-formed kernel row.
+_KERNEL_PARITY_FLAGS = {
+    "kernel_collision": ("verdicts_equal_stable",),
+    "kernel_knn": ("dists_close", "ids_equal_tiefree"),
+    "kernel_local_plan": ("checks_equal", "verdicts_equal_stable"),
+    "prm_build_fast32": ("success_equal", "lengths_close"),
+}
+
+#: Medium-scale speedup floor for the fast32 microbenches: below this the
+#: float32 blocked layouts have regressed into pointlessness.
+_KERNEL_SPEEDUP_FLOOR = 1.8
 
 
 def run_suite(scale: str = "medium") -> dict:
@@ -498,7 +754,16 @@ def run_suite(scale: str = "medium") -> dict:
     benchmarks = {}
     for name, fn in _BENCHMARKS.items():
         t0 = time.perf_counter()
-        benchmarks[name] = fn(params)
+        row = fn(params)
+        # Every row records the runtime it was measured under: the active
+        # kernel backend (the fast side for kernel comparisons, the
+        # reference default everywhere else) and the numpy/numba versions.
+        row["meta"] = {
+            "kernel_backend": row.pop("_kernel_backend", "reference"),
+            "numpy": np.__version__,
+            "numba": _numba_version(),
+        }
+        benchmarks[name] = row
         print(f"[perf] {name}: {time.perf_counter() - t0:.1f}s", file=sys.stderr)
     return {
         "suite": "repro-perf",
@@ -507,6 +772,7 @@ def run_suite(scale: str = "medium") -> dict:
         "seed": _SEED,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "numba": _numba_version(),
         "benchmarks": benchmarks,
     }
 
@@ -545,6 +811,27 @@ def validate(payload: object) -> "list[str]":
             problems.append(f"{bench_name} reports paths_equal=false")
     if benches.get("knn_scaling", {}).get("neighbors_equal") is False:
         problems.append("knn_scaling reports neighbors_equal=false")
+    for bench_name, flags in _KERNEL_PARITY_FLAGS.items():
+        entry = benches.get(bench_name, {})
+        for f in flags:
+            if entry.get(f) is False:
+                problems.append(f"{bench_name} reports {f}=false")
+    for name in _REQUIRED_FIELDS:
+        entry = benches.get(name)
+        if isinstance(entry, dict):
+            meta = entry.get("meta")
+            if not isinstance(meta, dict) or not {"kernel_backend", "numpy", "numba"} <= set(meta):
+                problems.append(
+                    f"benchmark {name!r} missing runtime meta (kernel_backend/numpy/numba)"
+                )
+    if payload.get("scale") == "medium":
+        for bench_name in ("kernel_collision", "kernel_knn"):
+            sp = benches.get(bench_name, {}).get("speedup")
+            if isinstance(sp, (int, float)) and sp < _KERNEL_SPEEDUP_FLOOR:
+                problems.append(
+                    f"{bench_name} speedup {sp:.2f}x is below the "
+                    f"{_KERNEL_SPEEDUP_FLOOR}x fast32 floor"
+                )
     # Serve rows are optional extras merged in by `python -m repro.bench
     # serve`; when present they must be well-formed and parity-clean.
     from .serve import validate_serve_rows
@@ -589,6 +876,8 @@ def main(argv: "list[str]") -> int:
     prm = payload["benchmarks"]["prm_build_default_path"]
     rrt = payload["benchmarks"]["rrt_build_default_path"]
     qb = payload["benchmarks"]["query_batch"]
+    kc = payload["benchmarks"]["kernel_collision"]
+    kn = payload["benchmarks"]["kernel_knn"]
     print(
         f"wrote {args.output}: prm build {prm['speedup']:.2f}x "
         f"({prm['before_s']*1e3:.0f}ms -> {prm['after_s']*1e3:.0f}ms at "
@@ -596,7 +885,8 @@ def main(argv: "list[str]") -> int:
         f"({rrt['before_s']*1e3:.0f}ms -> {rrt['after_s']*1e3:.0f}ms at "
         f"n={rrt['n_nodes']}), query batch {qb['speedup']:.2f}x "
         f"({qb['n_queries']} queries on {qb['n_vertices']} vertices), "
-        f"counts identical"
+        f"fast32 kernels {kc['speedup']:.2f}x collision / "
+        f"{kn['speedup']:.2f}x knn, counts identical"
     )
     return 0
 

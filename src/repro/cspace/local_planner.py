@@ -32,14 +32,28 @@ class LocalPlanResult:
 
 class StraightLinePlanner:
     """Check the straight segment between configurations at a fixed
-    resolution (C-space step length)."""
+    resolution (C-space step length).
+
+    ``kernels`` optionally names a :mod:`repro.kernels` backend; validity
+    checks are routed through it on spaces advertising
+    ``supports_kernels`` (without mutating the — possibly shared —
+    space's own default backend).  Step counts and interpolation stay
+    float64 regardless, so a fast backend changes verdicts only within
+    its documented statistical tolerance, never the check budget.
+    """
 
     name = "straight-line"
 
-    def __init__(self, resolution: float = 0.1):
+    def __init__(self, resolution: float = 0.1, kernels=None):
         if resolution <= 0:
             raise ValueError("resolution must be positive")
         self.resolution = resolution
+        self.kernels = kernels
+
+    def _valid(self, cspace: ConfigurationSpace, pts: np.ndarray) -> np.ndarray:
+        if self.kernels is not None and getattr(cspace, "supports_kernels", False):
+            return cspace.valid(pts, kernels=self.kernels)
+        return cspace.valid(pts)
 
     def steps_for(self, cspace: ConfigurationSpace, a: np.ndarray, b: np.ndarray) -> int:
         dist = float(cspace.distance(a, b))
@@ -52,7 +66,7 @@ class StraightLinePlanner:
             return LocalPlanResult(True, 0, dist)
         ts = np.linspace(0.0, 1.0, n_steps + 2)[1:-1]
         pts = cspace.interpolate(a, b, ts)
-        ok = cspace.valid(pts)
+        ok = self._valid(cspace, pts)
         return LocalPlanResult(bool(np.all(ok)), n_steps, dist)
 
     def batch_pairs(
@@ -94,7 +108,7 @@ class StraightLinePlanner:
         j = np.arange(total) - offsets[seg] + 1
         t = j / (steps[seg] + 1)
         pts = cspace.interpolate_pairs(starts[seg], ends[seg], t)
-        ok = cspace.valid(pts)
+        ok = self._valid(cspace, pts)
         bad_counts = np.bincount(seg[~ok], minlength=m)
         return bad_counts == 0, steps, lengths
 
@@ -134,7 +148,7 @@ class StraightLinePlanner:
         j = np.arange(total) - offsets[seg] + 1
         t = j * (1.0 / (steps[seg] + 1))
         pts = cspace.interpolate_pairs(starts[seg], ends[seg], t)
-        ok = cspace.valid(pts)
+        ok = self._valid(cspace, pts)
         bad_counts = np.bincount(seg[~ok], minlength=m)
         return bad_counts == 0, steps, lengths
 
@@ -179,7 +193,7 @@ class StraightLinePlanner:
             j = j + wave_start + 1
             t = j / (steps[seg_local] + 1)
             pts = cspace.interpolate_pairs(starts[seg_local], ends[seg_local], t)
-            ok = cspace.valid(pts)
+            ok = self._valid(cspace, pts)
             checks += int(seg_local.size)
             if not ok.all():
                 valid[np.unique(seg_local[~ok])] = False

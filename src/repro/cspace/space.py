@@ -36,6 +36,14 @@ class ConfigurationSpace(ABC):
     env: Environment
     #: Bounds of the configuration vector (an AABB in C-space coordinates).
     bounds: AABB
+    #: True when :meth:`valid` accepts a per-call ``kernels=`` override
+    #: (the hot paths check this before threading a backend through).
+    supports_kernels: bool = False
+
+    def set_kernel_backend(self, backend) -> None:
+        """Route this space's collision checks through a
+        :mod:`repro.kernels` backend (registry name or instance)."""
+        self.env.set_kernel_backend(backend)
 
     @property
     def dim(self) -> int:
@@ -136,16 +144,25 @@ class EuclideanCSpace(ConfigurationSpace):
             self._check_env = env
         self.bounds = self._check_env.bounds
 
+    supports_kernels = True
+
     @property
     def positional_dims(self) -> "tuple[int, ...]":
         return tuple(range(self.bounds.dim))
 
-    def valid(self, configs: np.ndarray) -> np.ndarray:
-        return ~self._check_env.points_in_collision(configs)
+    def set_kernel_backend(self, backend) -> None:
+        # The inflated check environment is a distinct object sharing only
+        # the counters; both must dispatch to the same backend.
+        self.env.set_kernel_backend(backend)
+        if self._check_env is not self.env:
+            self._check_env.set_kernel_backend(backend)
+
+    def valid(self, configs: np.ndarray, kernels=None) -> np.ndarray:
+        return ~self._check_env.points_in_collision(configs, kernels=kernels)
 
     def segment_valid(self, a: np.ndarray, b: np.ndarray) -> bool:
         """Exact continuous validity of the straight segment (point robot)."""
         return not self._check_env.segment_in_collision(a, b)
 
-    def segments_valid(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return ~self._check_env.segments_in_collision(a, b)
+    def segments_valid(self, a: np.ndarray, b: np.ndarray, kernels=None) -> np.ndarray:
+        return ~self._check_env.segments_in_collision(a, b, kernels=kernels)

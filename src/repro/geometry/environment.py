@@ -10,6 +10,15 @@ project's HPC notes).
 The environment also counts collision-detection calls.  The simulated
 distributed runtime charges virtual time per CD call, so these counters are
 the bridge between "real planner work" and "virtual machine time".
+
+Since the kernels refactor the actual collision arithmetic lives in
+:mod:`repro.kernels`: queries snapshot the obstacle set into a
+structure-of-arrays :class:`~repro.kernels.data.EnvKernelData` (cached,
+invalidated on mutation) and dispatch to the environment's configured
+:class:`~repro.kernels.base.KernelBackend` — ``reference`` by default,
+which is bit-exact with the historical inline expressions.  Callers on
+shared environments can override per call with ``kernels=`` instead of
+mutating the environment's default.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import EnvKernelData, get_backend
 from .primitives import AABB
 
 __all__ = ["Environment", "CollisionCounters"]
@@ -61,13 +71,25 @@ class Environment:
         matters for free-volume computations).
     name:
         Human-readable identifier used in benchmark output.
+    kernel_backend:
+        Name (or instance) of the :mod:`repro.kernels` backend collision
+        queries dispatch to by default.  ``"reference"`` is bit-exact with
+        the pre-kernels inline expressions.
     """
 
-    def __init__(self, bounds: AABB, obstacles: "list[AABB] | None" = None, name: str = "env"):
+    def __init__(
+        self,
+        bounds: AABB,
+        obstacles: "list[AABB] | None" = None,
+        name: str = "env",
+        kernel_backend: str = "reference",
+    ):
         self.bounds = bounds
         self.obstacles: list[AABB] = list(obstacles or [])
         self.name = name
         self.counters = CollisionCounters()
+        self._kernels = get_backend(kernel_backend)
+        self._kernel_data: "EnvKernelData | None" = None
         self._rebuild_arrays()
 
     def _rebuild_arrays(self) -> None:
@@ -81,11 +103,40 @@ class Environment:
         else:
             self._obs_lo = np.empty((0, d))
             self._obs_hi = np.empty((0, d))
+        self._kernel_data = None  # SoA snapshot is stale after any mutation
 
     # -- mutation ---------------------------------------------------------
     def add_obstacle(self, obstacle: AABB) -> None:
         self.obstacles.append(obstacle)
         self._rebuild_arrays()
+
+    # -- kernel dispatch ---------------------------------------------------
+    @property
+    def kernel_backend(self):
+        """The backend collision queries use when no override is given."""
+        return self._kernels
+
+    def set_kernel_backend(self, backend) -> None:
+        """Set the default backend (a registry name or an instance)."""
+        self._kernels = get_backend(backend)
+
+    def kernel_data(self) -> EnvKernelData:
+        """The cached SoA obstacle snapshot, rebuilt lazily after mutation.
+
+        Repeated collision calls in batched PRM/RRT replay share this one
+        snapshot instead of re-walking the Python obstacle list.
+        """
+        if self._kernel_data is None:
+            self._kernel_data = EnvKernelData(
+                bounds_lo=self.bounds.lo,
+                bounds_hi=self.bounds.hi,
+                box_lo=self._obs_lo,
+                box_hi=self._obs_hi,
+            )
+        return self._kernel_data
+
+    def _resolve_kernels(self, kernels):
+        return self._kernels if kernels is None else get_backend(kernels)
 
     # -- basic properties ---------------------------------------------------
     @property
@@ -147,32 +198,26 @@ class Environment:
         return 0.0 if v == 0 else self.obstacle_volume() / v
 
     # -- collision queries ---------------------------------------------------
-    def points_in_collision(self, points: np.ndarray) -> np.ndarray:
+    def points_in_collision(self, points: np.ndarray, kernels=None) -> np.ndarray:
         """Boolean mask: True where the point hits an obstacle or exits bounds.
 
-        ``points`` has shape ``(n, d)`` or ``(d,)``.
+        ``points`` has shape ``(n, d)`` or ``(d,)``.  ``kernels`` (a
+        registry name or backend instance) overrides the environment's
+        default backend for this call.
         """
         pts = np.asarray(points, dtype=float)
         single = pts.ndim == 1
         pts = np.atleast_2d(pts)
         self.counters.point_checks += pts.shape[0] * max(1, self._obs_lo.shape[0])
-        out_of_bounds = ~self.bounds.contains(pts)
-        if self._obs_lo.shape[0] == 0:
-            hit = out_of_bounds
-        else:
-            # (n, 1, d) vs (1, m, d) broadcast; all-axes-inside => collision.
-            inside = np.all(
-                (pts[:, None, :] >= self._obs_lo[None, :, :])
-                & (pts[:, None, :] <= self._obs_hi[None, :, :]),
-                axis=2,
-            )
-            hit = inside.any(axis=1) | out_of_bounds
+        hit = ~self._resolve_kernels(kernels).points_free(self.kernel_data(), pts)
         return bool(hit[0]) if single else hit
 
     def point_free(self, point: np.ndarray) -> bool:
         return not bool(self.points_in_collision(point))
 
-    def segment_in_collision(self, p: np.ndarray, q: np.ndarray, resolution: float = 0.0) -> bool:
+    def segment_in_collision(
+        self, p: np.ndarray, q: np.ndarray, resolution: float = 0.0, kernels=None
+    ) -> bool:
         """Exact swept test of the segment ``p->q`` against all obstacles.
 
         ``resolution`` is accepted for interface parity with sampled local
@@ -183,45 +228,15 @@ class Environment:
         p = np.asarray(p, dtype=float)
         q = np.asarray(q, dtype=float)
         self.counters.segment_checks += max(1, self._obs_lo.shape[0])
-        if not (self.bounds.contains(p) and self.bounds.contains(q)):
-            return True
-        if self._obs_lo.shape[0] == 0:
-            return False
-        return bool(self._segments_hit(p[None, :], q[None, :])[0])
+        backend = self._resolve_kernels(kernels)
+        return not bool(backend.segments_free(self.kernel_data(), p[None, :], q[None, :])[0])
 
-    def segments_in_collision(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    def segments_in_collision(self, p: np.ndarray, q: np.ndarray, kernels=None) -> np.ndarray:
         """Vectorised swept test for segments ``p[i]->q[i]``."""
         p = np.atleast_2d(np.asarray(p, dtype=float))
         q = np.atleast_2d(np.asarray(q, dtype=float))
         self.counters.segment_checks += p.shape[0] * max(1, self._obs_lo.shape[0])
-        in_bounds = self.bounds.contains(p) & self.bounds.contains(q)
-        if self._obs_lo.shape[0] == 0:
-            return ~in_bounds
-        return self._segments_hit(p, q) | ~in_bounds
-
-    def _segments_hit(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
-        """Slab test of n segments against m obstacles -> (n,) bool."""
-        d = q - p  # (n, dim)
-        n, dim = p.shape
-        m = self._obs_lo.shape[0]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            inv = np.where(d != 0.0, 1.0 / d, np.inf)  # (n, dim)
-        # (n, m, dim)
-        t_lo = (self._obs_lo[None, :, :] - p[:, None, :]) * inv[:, None, :]
-        t_hi = (self._obs_hi[None, :, :] - p[:, None, :]) * inv[:, None, :]
-        t_near = np.minimum(t_lo, t_hi)
-        t_far = np.maximum(t_lo, t_hi)
-        parallel = (d == 0.0)[:, None, :] & np.ones((1, m, 1), dtype=bool)
-        inside_slab = (p[:, None, :] >= self._obs_lo[None, :, :]) & (
-            p[:, None, :] <= self._obs_hi[None, :, :]
-        )
-        miss_parallel = parallel & ~inside_slab
-        t_near = np.where(parallel, -np.inf, t_near)
-        t_far = np.where(parallel, np.inf, t_far)
-        t0 = np.maximum(t_near.max(axis=2), 0.0)  # (n, m)
-        t1 = np.minimum(t_far.min(axis=2), 1.0)
-        hit = (t0 <= t1) & ~miss_parallel.any(axis=2)
-        return hit.any(axis=1)
+        return ~self._resolve_kernels(kernels).segments_free(self.kernel_data(), p, q)
 
     # -- ray probes (used by the k-rays RRT weight estimator) ----------------
     def ray_free_distance(self, origin: np.ndarray, direction: np.ndarray, max_dist: float) -> float:

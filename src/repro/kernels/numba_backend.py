@@ -1,0 +1,192 @@
+"""Optional numba kernel backend: nopython float64 loops with early exit.
+
+Importing this module raises ``ImportError`` when numba is not installed;
+the registry in :mod:`repro.kernels` catches that and simply omits the
+backend, so environments without numba degrade to ``reference``/``fast32``
+silently (asserted by the registry tests and the no-numba CI leg).
+
+Where the vectorised backends must evaluate every obstacle for every
+query, these scalar loops break out of the obstacle scan at the first
+hit — the win on cluttered scenes where most queries collide early.
+Arithmetic is float64 in source order, but compiled reductions may fuse
+differently from NumPy's pairwise summation, so this backend is held to
+the *statistical* equivalence gates, not bit-exactness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange  # noqa: F401  (ImportError => backend absent)
+
+from .base import KernelBackend
+from .data import EnvKernelData
+from .select import select_canonical_rows
+
+__all__ = ["NumbaKernels"]
+
+
+@njit(cache=True)
+def _points_free_impl(pts, blo, bhi, box_lo, box_hi, sph_c, sph_r2):  # pragma: no cover
+    n, dim = pts.shape
+    nb = box_lo.shape[0]
+    ns = sph_c.shape[0]
+    out = np.empty(n, dtype=np.bool_)
+    for i in range(n):
+        free = True
+        for j in range(dim):
+            if pts[i, j] < blo[j] or pts[i, j] > bhi[j]:
+                free = False
+                break
+        if free:
+            for b in range(nb):
+                inside = True
+                for j in range(dim):
+                    if pts[i, j] < box_lo[b, j] or pts[i, j] > box_hi[b, j]:
+                        inside = False
+                        break
+                if inside:
+                    free = False
+                    break
+        if free:
+            for s in range(ns):
+                d2 = 0.0
+                for j in range(dim):
+                    diff = pts[i, j] - sph_c[s, j]
+                    d2 += diff * diff
+                if d2 <= sph_r2[s]:
+                    free = False
+                    break
+        out[i] = free
+    return out
+
+
+@njit(cache=True)
+def _segments_free_impl(p, q, blo, bhi, box_lo, box_hi, sph_c, sph_r2):  # pragma: no cover
+    n, dim = p.shape
+    nb = box_lo.shape[0]
+    ns = sph_c.shape[0]
+    out = np.empty(n, dtype=np.bool_)
+    for i in range(n):
+        free = True
+        for j in range(dim):
+            if (
+                p[i, j] < blo[j]
+                or p[i, j] > bhi[j]
+                or q[i, j] < blo[j]
+                or q[i, j] > bhi[j]
+            ):
+                free = False
+                break
+        if free:
+            for b in range(nb):
+                t0 = 0.0
+                t1 = 1.0
+                miss = False
+                for j in range(dim):
+                    d = q[i, j] - p[i, j]
+                    if d == 0.0:
+                        if p[i, j] < box_lo[b, j] or p[i, j] > box_hi[b, j]:
+                            miss = True
+                            break
+                    else:
+                        ta = (box_lo[b, j] - p[i, j]) / d
+                        tb = (box_hi[b, j] - p[i, j]) / d
+                        if ta > tb:
+                            ta, tb = tb, ta
+                        if ta > t0:
+                            t0 = ta
+                        if tb < t1:
+                            t1 = tb
+                        if t0 > t1:
+                            miss = True
+                            break
+                if not miss:
+                    free = False
+                    break
+        if free and ns:
+            dd = 0.0
+            for j in range(dim):
+                d = q[i, j] - p[i, j]
+                dd += d * d
+            for s in range(ns):
+                num = 0.0
+                for j in range(dim):
+                    num += (sph_c[s, j] - p[i, j]) * (q[i, j] - p[i, j])
+                t = 0.0 if dd == 0.0 else num / dd
+                if t < 0.0:
+                    t = 0.0
+                elif t > 1.0:
+                    t = 1.0
+                d2 = 0.0
+                for j in range(dim):
+                    diff = p[i, j] + t * (q[i, j] - p[i, j]) - sph_c[s, j]
+                    d2 += diff * diff
+                if d2 <= sph_r2[s]:
+                    free = False
+                    break
+        out[i] = free
+    return out
+
+
+@njit(cache=True)
+def _pairwise_impl(stored, queries, out):  # pragma: no cover
+    n, dim = stored.shape
+    m = queries.shape[0]
+    for i in range(m):
+        for jj in range(n):
+            s = 0.0
+            for j in range(dim):
+                diff = stored[jj, j] - queries[i, j]
+                s += diff * diff
+            out[i, jj] = np.sqrt(s)
+
+
+class NumbaKernels(KernelBackend):
+    """Compiled scalar loops with first-hit early exit."""
+
+    name = "numba"
+    dtype = np.float64
+
+    def points_free(self, data: EnvKernelData, points: np.ndarray) -> np.ndarray:
+        pts = np.ascontiguousarray(np.atleast_2d(np.asarray(points, dtype=float)))
+        return _points_free_impl(
+            pts, data.bounds_lo, data.bounds_hi, data.box_lo, data.box_hi,
+            data.sph_center, data.sph_radius**2,
+        )
+
+    def segments_free(self, data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        p = np.ascontiguousarray(np.atleast_2d(np.asarray(p, dtype=float)))
+        q = np.ascontiguousarray(np.atleast_2d(np.asarray(q, dtype=float)))
+        return _segments_free_impl(
+            p, q, data.bounds_lo, data.bounds_hi, data.box_lo, data.box_hi,
+            data.sph_center, data.sph_radius**2,
+        )
+
+    def pairwise_accumulate(self, stored: np.ndarray, queries: np.ndarray, out: np.ndarray) -> None:
+        if stored.shape[0] == 0:
+            return
+        _pairwise_impl(
+            np.ascontiguousarray(np.asarray(stored, dtype=float)),
+            np.ascontiguousarray(np.asarray(queries, dtype=float)),
+            out,
+        )
+
+    def knn_block_min(
+        self, stored: np.ndarray, queries: np.ndarray, k: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        stored = np.atleast_2d(np.asarray(stored, dtype=float))
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        m, n = queries.shape[0], stored.shape[0]
+        kk = max(k, 0)
+        idx = np.full((m, kk), -1, dtype=np.int64)
+        dist = np.full((m, kk), np.inf)
+        if n == 0 or kk == 0 or m == 0:
+            return idx, dist
+        D = np.empty((m, n))
+        self.pairwise_accumulate(stored, queries, D)
+        k_eff = min(kk, n)
+        sel, dvals = select_canonical_rows(D, k_eff)
+        for i, (srow, drow) in enumerate(zip(sel, dvals)):
+            idx[i, :k_eff] = srow
+            dist[i, :k_eff] = drow
+        return idx, dist

@@ -1,0 +1,148 @@
+"""Reference kernel backend: today's float64 NumPy hot paths, bit-exact.
+
+These are the *exact* expressions that previously lived inline in
+``Environment.points_in_collision`` / ``Environment._segments_hit`` and
+``BruteForceNN._dist_block`` — moved here unchanged so the backend
+boundary introduces zero numerical drift.  Every bit-exact parity test in
+the suite (sequential-vs-batched PRM/RRT replay, canonical k-NN
+cross-checks) runs through this backend and must stay green with zero
+tolerance changes; fast backends are instead held to the statistical
+gates described in :mod:`repro.kernels.base`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KernelBackend
+from .data import EnvKernelData
+from .select import select_canonical_rows
+
+__all__ = ["ReferenceKernels", "pairwise_accumulate_exact"]
+
+
+def pairwise_accumulate_exact(stored: np.ndarray, queries: np.ndarray, out: np.ndarray) -> None:
+    """Write ``||stored[j] - queries[i]||`` into ``out[i, j]`` using
+    per-dimension 2-D accumulation.
+
+    np.add.reduce over the last axis sums left to right, so
+    ``s = dx0²; s += dx1²; ...; sqrt(s)`` produces bit-identical values to
+    ``np.linalg.norm(diff, axis=2)`` (and to the per-query scalar path)
+    while never materialising the ``(m, n, d)`` temporary — about a third
+    of the memory traffic on the O(n²) floor of roadmap construction.
+    """
+    n = stored.shape[0]
+    if n == 0:
+        return
+    m, dim = queries.shape
+    tmp = np.empty((m, n))
+    s = np.empty((m, n))
+    for j in range(dim):
+        np.subtract(stored[None, :, j], queries[:, j, None], out=tmp)
+        np.multiply(tmp, tmp, out=tmp)
+        if j == 0:
+            s, tmp = tmp, s
+        else:
+            np.add(s, tmp, out=s)
+    np.sqrt(s, out=out)
+
+
+def _segments_hit_boxes(data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Slab test of n segments against the box obstacles -> (n,) bool.
+
+    Verbatim the historical ``Environment._segments_hit`` body, reading
+    the snapshot's box arrays.
+    """
+    obs_lo, obs_hi = data.box_lo, data.box_hi
+    d = q - p  # (n, dim)
+    m = obs_lo.shape[0]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = np.where(d != 0.0, 1.0 / d, np.inf)  # (n, dim)
+    # (n, m, dim)
+    t_lo = (obs_lo[None, :, :] - p[:, None, :]) * inv[:, None, :]
+    t_hi = (obs_hi[None, :, :] - p[:, None, :]) * inv[:, None, :]
+    t_near = np.minimum(t_lo, t_hi)
+    t_far = np.maximum(t_lo, t_hi)
+    parallel = (d == 0.0)[:, None, :] & np.ones((1, m, 1), dtype=bool)
+    inside_slab = (p[:, None, :] >= obs_lo[None, :, :]) & (p[:, None, :] <= obs_hi[None, :, :])
+    miss_parallel = parallel & ~inside_slab
+    t_near = np.where(parallel, -np.inf, t_near)
+    t_far = np.where(parallel, np.inf, t_far)
+    t0 = np.maximum(t_near.max(axis=2), 0.0)  # (n, m)
+    t1 = np.minimum(t_far.min(axis=2), 1.0)
+    hit = (t0 <= t1) & ~miss_parallel.any(axis=2)
+    return hit.any(axis=1)
+
+
+def _segments_hit_spheres(data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Exact segment-vs-sphere test: closest point on the segment to each
+    center, clamped to the parameter range, against the radius."""
+    c, r = data.sph_center, data.sph_radius
+    d = q - p  # (n, dim)
+    dd = np.einsum("ij,ij->i", d, d)  # (n,)
+    f = p[:, None, :] - c[None, :, :]  # (n, m, dim)
+    num = -np.einsum("imj,ij->im", f, d)  # (n, m)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(dd[:, None] > 0.0, num / dd[:, None], 0.0)
+    t = np.clip(t, 0.0, 1.0)
+    closest = f + t[:, :, None] * d[:, None, :]
+    dist2 = np.einsum("imj,imj->im", closest, closest)
+    return (dist2 <= r[None, :] ** 2).any(axis=1)
+
+
+class ReferenceKernels(KernelBackend):
+    """Bit-exact float64 backend — the default everywhere."""
+
+    name = "reference"
+    dtype = np.float64
+
+    def points_free(self, data: EnvKernelData, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        free = np.all((pts >= data.bounds_lo) & (pts <= data.bounds_hi), axis=-1)
+        if data.num_boxes:
+            inside = np.all(
+                (pts[:, None, :] >= data.box_lo[None, :, :])
+                & (pts[:, None, :] <= data.box_hi[None, :, :]),
+                axis=2,
+            )
+            free = free & ~inside.any(axis=1)
+        if data.num_spheres:
+            diff = pts[:, None, :] - data.sph_center[None, :, :]
+            dist2 = np.einsum("imj,imj->im", diff, diff)
+            free = free & ~(dist2 <= data.sph_radius[None, :] ** 2).any(axis=1)
+        return free
+
+    def segments_free(self, data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        p = np.atleast_2d(np.asarray(p, dtype=float))
+        q = np.atleast_2d(np.asarray(q, dtype=float))
+        free = np.all((p >= data.bounds_lo) & (p <= data.bounds_hi), axis=-1) & np.all(
+            (q >= data.bounds_lo) & (q <= data.bounds_hi), axis=-1
+        )
+        if data.num_boxes:
+            free = free & ~_segments_hit_boxes(data, p, q)
+        if data.num_spheres:
+            free = free & ~_segments_hit_spheres(data, p, q)
+        return free
+
+    def pairwise_accumulate(self, stored: np.ndarray, queries: np.ndarray, out: np.ndarray) -> None:
+        pairwise_accumulate_exact(stored, queries, out)
+
+    def knn_block_min(
+        self, stored: np.ndarray, queries: np.ndarray, k: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        stored = np.atleast_2d(np.asarray(stored, dtype=float))
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        m, n = queries.shape[0], stored.shape[0]
+        kk = max(k, 0)
+        idx = np.full((m, kk), -1, dtype=np.int64)
+        dist = np.full((m, kk), np.inf)
+        if n == 0 or kk == 0 or m == 0:
+            return idx, dist
+        D = np.empty((m, n))
+        self.pairwise_accumulate(stored, queries, D)
+        k_eff = min(kk, n)
+        sel, dvals = select_canonical_rows(D, k_eff)
+        for i, (srow, drow) in enumerate(zip(sel, dvals)):
+            idx[i, :k_eff] = srow
+            dist[i, :k_eff] = drow
+        return idx, dist

@@ -1,0 +1,56 @@
+"""Canonical top-k selection shared by the k-NN backends and kernels.
+
+Every NN backend promises the same ordering: ascending distance, ties
+broken by insertion (stored) order.  argpartition alone leaves ties at the
+k-th distance unspecified, so these helpers gather *all* entries tying the
+k-th distance and stable-sort them — the single implementation both
+``BruteForceNN`` and the kernel backends' :func:`knn_block_min` use, so
+cross-backend tests can compare results exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_canonical", "select_canonical_rows"]
+
+
+def select_canonical(d: np.ndarray, k_eff: int) -> np.ndarray:
+    """Indices of the ``k_eff`` smallest entries of ``d`` under the
+    canonical (distance, index) tie-break."""
+    if k_eff >= d.size:
+        return np.argsort(d, kind="stable")[:k_eff]
+    part = np.argpartition(d, k_eff - 1)[:k_eff]
+    kth = d[part].max()
+    cand = np.nonzero(d <= kth)[0]
+    return cand[np.argsort(d[cand], kind="stable")][:k_eff]
+
+
+def select_canonical_rows(
+    block: np.ndarray, k_eff: int
+) -> "tuple[list[list[int]], list[list[float]]]":
+    """Row-wise :func:`select_canonical`: (index rows, distance rows).
+
+    The vectorised argpartition+argsort fast path is canonical whenever a
+    row's k selected distances are distinct and nothing outside the
+    selection ties the k-th distance; the rare ambiguous rows are
+    re-selected individually.
+    """
+    if k_eff >= block.shape[1]:
+        order = np.argsort(block, axis=1, kind="stable")[:, :k_eff]
+        return order.tolist(), np.take_along_axis(block, order, axis=1).tolist()
+    idx = np.argpartition(block, k_eff - 1, axis=1)[:, :k_eff]
+    dk = np.take_along_axis(block, idx, axis=1)
+    dk_sorted = np.sort(dk, axis=1)
+    kthv = dk_sorted[:, -1]
+    amb = (block <= kthv[:, None]).sum(axis=1) > k_eff
+    if k_eff > 1:
+        amb |= (dk_sorted[:, 1:] == dk_sorted[:, :-1]).any(axis=1)
+    order = np.argsort(dk, axis=1, kind="stable")
+    sel = np.take_along_axis(idx, order, axis=1).tolist()
+    dists = np.take_along_axis(dk, order, axis=1).tolist()
+    for r in np.nonzero(amb)[0].tolist():
+        can = select_canonical(block[r], k_eff)
+        sel[r] = can.tolist()
+        dists[r] = block[r][can].tolist()
+    return sel, dists

@@ -64,6 +64,29 @@ class NeighborFinder(ABC):
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
         return [self.knn(q, k) for q in queries]
 
+    def knn_batch_arrays(self, queries: np.ndarray, k: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Array-native :meth:`knn_batch`: ``(ids (m, k) int64, dists
+        (m, k) float64)``, rows padded with id ``-1`` / distance ``+inf``
+        when fewer than ``k`` neighbours exist (test validity with
+        ``np.isfinite(dists)``, not the id sentinel).
+
+        Same results, ordering, and stats charges as :meth:`knn_batch`,
+        without materialising ``list[list[tuple]]`` per query — the
+        allocation that dominates ``QueryEngine.solve_many`` profiles.
+        The default adapts the tuple path; backends override with a fully
+        vectorised implementation.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        m = queries.shape[0]
+        kk = max(k, 0)
+        ids = np.full((m, kk), -1, dtype=np.int64)
+        dists = np.full((m, kk), np.inf)
+        for i, row in enumerate(self.knn_batch(queries, k) if m else []):
+            for j, (pid, d) in enumerate(row):
+                ids[i, j] = pid
+                dists[i, j] = d
+        return ids, dists
+
     @abstractmethod
     def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
         """All stored points within distance ``r`` of ``query``."""

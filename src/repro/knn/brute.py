@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import get_backend, select_canonical, select_canonical_rows
+from ..kernels.reference import pairwise_accumulate_exact
 from .base import NeighborFinder
 
 __all__ = ["BruteForceNN"]
@@ -17,13 +19,20 @@ _INITIAL_CAPACITY = 64
 
 
 class BruteForceNN(NeighborFinder):
-    """Amortised-growth array of points; queries are one broadcast each."""
+    """Amortised-growth array of points; queries are one broadcast each.
 
-    def __init__(self, dim: int):
+    ``kernels`` optionally selects the :mod:`repro.kernels` backend used
+    for the batched distance blocks; the default (``reference``) is
+    bit-exact with the historical inline accumulation.  The per-query
+    scalar paths stay float64 regardless of backend.
+    """
+
+    def __init__(self, dim: int, kernels=None):
         super().__init__()
         if dim <= 0:
             raise ValueError("dim must be positive")
         self.dim = dim
+        self._kernels = get_backend(kernels)
         self._points = np.empty((_INITIAL_CAPACITY, dim))
         self._ids = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
         self._n = 0
@@ -61,21 +70,13 @@ class BruteForceNN(NeighborFinder):
     @staticmethod
     def _dist_block(stored: np.ndarray, queries: np.ndarray, out: np.ndarray) -> None:
         """Write ``||stored[j] - queries[i]||`` into ``out[i, j]`` using
-        per-dimension 2-D accumulation (see :meth:`knn_block_growing`)."""
-        n = stored.shape[0]
-        if n == 0:
-            return
-        m, dim = queries.shape
-        tmp = np.empty((m, n))
-        s = np.empty((m, n))
-        for j in range(dim):
-            np.subtract(stored[None, :, j], queries[:, j, None], out=tmp)
-            np.multiply(tmp, tmp, out=tmp)
-            if j == 0:
-                s, tmp = tmp, s
-            else:
-                np.add(s, tmp, out=s)
-        np.sqrt(s, out=out)
+        per-dimension 2-D accumulation (see :meth:`knn_block_growing`).
+
+        Static and always bit-exact float64 — the batched RRT calls it
+        directly for its frozen-tree distances.  Instance query paths go
+        through the configured kernel backend instead.
+        """
+        pairwise_accumulate_exact(stored, queries, out)
 
     def _distances(self, query: np.ndarray) -> np.ndarray:
         pts = self._points[: self._n]
@@ -83,48 +84,11 @@ class BruteForceNN(NeighborFinder):
         self.stats.distance_evals += self._n
         return np.linalg.norm(pts - np.asarray(query, dtype=float)[None, :], axis=1)
 
-    @staticmethod
-    def _select_canonical(d: np.ndarray, k_eff: int) -> np.ndarray:
-        """Indices of the ``k_eff`` smallest entries of ``d`` under the
-        canonical (distance, insertion order) tie-break every backend
-        implements.  argpartition alone leaves ties at the k-th distance
-        unspecified; gathering *all* entries ``<= kth`` and stable-sorting
-        them by distance makes the boundary deterministic."""
-        if k_eff >= d.size:
-            return np.argsort(d, kind="stable")[:k_eff]
-        part = np.argpartition(d, k_eff - 1)[:k_eff]
-        kth = d[part].max()
-        cand = np.nonzero(d <= kth)[0]
-        return cand[np.argsort(d[cand], kind="stable")][:k_eff]
-
-    def _select_canonical_rows(
-        self, block: np.ndarray, k_eff: int
-    ) -> "tuple[list[list[int]], list[list[float]]]":
-        """Row-wise :meth:`_select_canonical`: (index rows, distance rows).
-
-        The vectorised argpartition+argsort fast path is canonical whenever
-        a row's k selected distances are distinct and nothing outside the
-        selection ties the k-th distance; the rare ambiguous rows are
-        re-selected individually.
-        """
-        if k_eff >= block.shape[1]:
-            order = np.argsort(block, axis=1, kind="stable")[:, :k_eff]
-            return order.tolist(), np.take_along_axis(block, order, axis=1).tolist()
-        idx = np.argpartition(block, k_eff - 1, axis=1)[:, :k_eff]
-        dk = np.take_along_axis(block, idx, axis=1)
-        dk_sorted = np.sort(dk, axis=1)
-        kthv = dk_sorted[:, -1]
-        amb = (block <= kthv[:, None]).sum(axis=1) > k_eff
-        if k_eff > 1:
-            amb |= (dk_sorted[:, 1:] == dk_sorted[:, :-1]).any(axis=1)
-        order = np.argsort(dk, axis=1, kind="stable")
-        sel = np.take_along_axis(idx, order, axis=1).tolist()
-        dists = np.take_along_axis(dk, order, axis=1).tolist()
-        for r in np.nonzero(amb)[0].tolist():
-            can = self._select_canonical(block[r], k_eff)
-            sel[r] = can.tolist()
-            dists[r] = block[r][can].tolist()
-        return sel, dists
+    # Canonical (distance, insertion order) top-k selection — shared with
+    # the kernel backends so cross-backend tests compare results exactly
+    # (kept as aliases for the historical internal names).
+    _select_canonical = staticmethod(select_canonical)
+    _select_canonical_rows = staticmethod(select_canonical_rows)
 
     def knn(self, query: np.ndarray, k: int, exclude: int | None = None) -> "list[tuple[int, float]]":
         if self._n == 0 or k <= 0:
@@ -139,24 +103,42 @@ class BruteForceNN(NeighborFinder):
         order = self._select_canonical(d, min(k, d.size))
         return [(int(ids[i]), float(d[i])) for i in order]
 
-    def knn_batch(self, queries: np.ndarray, k: int) -> "list[list[tuple[int, float]]]":
+    def knn_batch_arrays(self, queries: np.ndarray, k: int) -> "tuple[np.ndarray, np.ndarray]":
         """Canonical k-NN for every row of ``queries`` in one distance
-        broadcast — same results and stats charges as a :meth:`knn` loop."""
+        broadcast, returned as padded ``(ids, dists)`` arrays — same
+        results, ordering, and stats charges as a :meth:`knn` loop without
+        the per-query tuple lists."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        m = queries.shape[0]
+        kk = max(k, 0)
+        ids = np.full((m, kk), -1, dtype=np.int64)
+        dists = np.full((m, kk), np.inf)
+        if m == 0 or self._n == 0 or kk == 0:
+            return ids, dists
+        D = np.empty((m, self._n))
+        self._kernels.pairwise_accumulate(self._points[: self._n], queries, D)
+        self.stats.queries += m
+        self.stats.distance_evals += m * self._n
+        k_eff = min(kk, self._n)
+        sel, dvals = self._select_canonical_rows(D, k_eff)
+        stored_ids = self._ids[: self._n]
+        for i, (srow, drow) in enumerate(zip(sel, dvals)):
+            ids[i, :k_eff] = stored_ids[srow]
+            dists[i, :k_eff] = drow
+        return ids, dists
+
+    def knn_batch(self, queries: np.ndarray, k: int) -> "list[list[tuple[int, float]]]":
+        """Tuple-list view of :meth:`knn_batch_arrays` (compatibility)."""
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
         m = queries.shape[0]
         if m == 0:
             return []
         if self._n == 0 or k <= 0:
             return [[] for _ in range(m)]
-        D = np.empty((m, self._n))
-        self._dist_block(self._points[: self._n], queries, D)
-        self.stats.queries += m
-        self.stats.distance_evals += m * self._n
-        ids = self._ids[: self._n]
-        sel, dists = self._select_canonical_rows(D, min(k, self._n))
+        ids, dists = self.knn_batch_arrays(queries, k)
         return [
-            [(int(ids[j]), float(dj)) for j, dj in zip(srow, drow)]
-            for srow, drow in zip(sel, dists)
+            [(int(i), float(d)) for i, d in zip(irow, drow) if np.isfinite(d)]
+            for irow, drow in zip(ids, dists)
         ]
 
     def knn_block_growing(
@@ -192,9 +174,9 @@ class BruteForceNN(NeighborFinder):
         # (and to the per-query `knn` path) while never materialising the
         # 3-D temporary — about a third of the memory traffic on the
         # O(n²) floor of roadmap construction.
-        self._dist_block(self._points[:n0], points, D[:, :n0])
+        self._kernels.pairwise_accumulate(self._points[:n0], points, D[:, :n0])
         if m > 1:
-            self._dist_block(points, points, D[:, n0:])
+            self._kernels.pairwise_accumulate(points, points, D[:, n0:])
             # Mask self-distances and not-yet-visible later block points.
             D[:, n0:][np.arange(m)[None, :] >= np.arange(m)[:, None]] = np.inf
         else:

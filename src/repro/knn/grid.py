@@ -28,7 +28,7 @@ __all__ = ["GridNN"]
 class GridNN(NeighborFinder):
     """Uniform-cell spatial hash over ``dim``-dimensional points."""
 
-    def __init__(self, dim: int, cell_size: float):
+    def __init__(self, dim: int, cell_size: float, kernels=None):
         super().__init__()
         if dim <= 0:
             raise ValueError("dim must be positive")
@@ -36,6 +36,9 @@ class GridNN(NeighborFinder):
             raise ValueError("cell_size must be positive")
         self.dim = dim
         self.cell_size = cell_size
+        # Accepted for factory-signature uniformity; the cell-walk scalar
+        # path is always exact float64, so the backend is unused.
+        self.kernels = kernels
         self._cells: "dict[tuple[int, ...], list[int]]" = defaultdict(list)
         self._points: "list[tuple[float, ...]]" = []
         self._ids: list[int] = []

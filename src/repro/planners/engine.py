@@ -33,6 +33,7 @@ build a new engine after changing the roadmap.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from functools import partial
@@ -157,6 +158,13 @@ class QueryEngine:
         :class:`~repro.knn.kdtree.KDTreeNN` above it.  Every backend
         shares the canonical (distance, insertion order) tie-break, so
         the choice never changes an answer, only its latency.
+    kernels:
+        Optional :mod:`repro.kernels` backend (name or instance) threaded
+        through endpoint validity checks, the NN index's distance blocks,
+        and the default local planner — without mutating the (possibly
+        shared) ``cspace``.  ``None`` keeps the space's own configured
+        backend (``reference`` unless changed), preserving the bit-exact
+        ``RoadmapQuery`` parity contract.
     """
 
     def __init__(
@@ -166,13 +174,17 @@ class QueryEngine:
         local_planner=None,
         k: int = 8,
         nn_factory=None,
+        kernels=None,
     ):
         self.cspace = cspace
+        self.kernels = kernels
         if isinstance(roadmap, FrozenRoadmap):
             self.frozen = roadmap
         else:
             self.frozen = FrozenRoadmap.from_roadmap(roadmap)
-        self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
+        self.local_planner = local_planner or StraightLinePlanner(
+            resolution=0.25, kernels=kernels
+        )
         self.k = k
         n = self.frozen.num_vertices
         if nn_factory is None:
@@ -180,7 +192,7 @@ class QueryEngine:
             # the O(n) scan rows dominate; results are identical either way.
             nn_factory = BruteForceNN if n < _AUTO_KDTREE_MIN else KDTreeNN
         self.nn_factory = nn_factory
-        self._nn = self.nn_factory(cspace.dim)
+        self._nn = self._make_nn(cspace.dim)
         if n:
             # Point ids are dense rows: insertion order matches the frozen
             # row order, so canonical tie-breaking equals what a fresh
@@ -188,6 +200,25 @@ class QueryEngine:
             self._nn.add_batch(np.arange(n, dtype=np.int64), self.frozen.configs)
         self._sid = self.frozen.max_id + 1
         self._gid = self.frozen.max_id + 2
+
+    def _make_nn(self, dim: int):
+        """Build the NN index, forwarding ``kernels`` to factories that
+        accept it (custom ``dim -> NeighborFinder`` lambdas need not)."""
+        if self.kernels is not None:
+            try:
+                params = inspect.signature(self.nn_factory).parameters
+            except (TypeError, ValueError):
+                params = {}
+            if "kernels" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            ):
+                return self.nn_factory(dim, kernels=self.kernels)
+        return self.nn_factory(dim)
+
+    def _cspace_valid(self, configs: np.ndarray) -> np.ndarray:
+        if self.kernels is not None and getattr(self.cspace, "supports_kernels", False):
+            return self.cspace.valid(configs, kernels=self.kernels)
+        return self.cspace.valid(configs)
 
     @property
     def nn_stats(self):
@@ -223,14 +254,14 @@ class QueryEngine:
         jobs: "list[tuple | None]" = [None] * q
         if q == 0:
             return jobs
-        vmask = np.asarray(self.cspace.valid(np.vstack([starts, goals])), dtype=bool)
+        vmask = np.asarray(self._cspace_valid(np.vstack([starts, goals])), dtype=bool)
         ok = vmask[:q] & vmask[q:]
         valid_idx = np.nonzero(ok)[0].tolist()
         if not valid_idx:
             return jobs
         n = self.frozen.num_vertices
         nv = len(valid_idx)
-        cands = self._nn.knn_batch(
+        cand_ids, cand_d = self._nn.knn_batch_arrays(
             np.vstack([starts[valid_idx], goals[valid_idx]]), self.k
         )
         # Collect every candidate edge of every query into one validation
@@ -241,8 +272,17 @@ class QueryEngine:
         configs = self.frozen.configs
         for p, qi in enumerate(valid_idx):
             start, goal = starts[qi], goals[qi]
-            scand = [(d, r) for r, d in cands[p]]
-            gcand = [(d, r) for r, d in cands[nv + p]]
+            # Padded rows (fewer than k stored) carry +inf distances.
+            scand = [
+                (float(d), int(r))
+                for r, d in zip(cand_ids[p], cand_d[p])
+                if np.isfinite(d)
+            ]
+            gcand = [
+                (float(d), int(r))
+                for r, d in zip(cand_ids[nv + p], cand_d[nv + p])
+                if np.isfinite(d)
+            ]
             # The per-query path attaches the goal *after* the start was
             # inserted, so the start is a goal candidate too — merge it in
             # at its canonical (distance, insertion order = n) position.

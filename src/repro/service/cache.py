@@ -70,7 +70,7 @@ def snapshot_nbytes(engine: QueryEngine) -> int:
 
 
 def build_engine(
-    spec: WorkloadSpec, k: int = 8, nn_factory=None, local_planner=None
+    spec: WorkloadSpec, k: int = 8, nn_factory=None, local_planner=None, kernels=None
 ) -> QueryEngine:
     """Default cache builder: construct the workload's roadmap exactly the
     way :func:`repro.api.plan` does, then freeze it into an engine.
@@ -78,6 +78,9 @@ def build_engine(
     Bit-parity anchor: a direct ``RoadmapQuery.solve`` against
     ``plan(spec).roadmap`` and a served query through this engine return
     identical paths, because both start from the same roadmap bytes.
+    ``kernels`` (a :mod:`repro.kernels` backend name or instance) routes
+    both the build and the engine's serving paths through that backend —
+    the service-level hookup for ``ExecutionPolicy.kernel_backend``.
     """
     from ..api import _default_root  # local import: api imports spec
     from ..core.parallel_prm import build_prm_workload
@@ -85,6 +88,8 @@ def build_engine(
 
     spec.validate()
     cspace = spec.resolve_cspace()
+    if kernels is not None:
+        cspace.set_kernel_backend(kernels)
     if spec.planner == "prm":
         workload = build_prm_workload(
             cspace,
@@ -109,6 +114,7 @@ def build_engine(
         k=k,
         nn_factory=nn_factory,
         local_planner=local_planner,
+        kernels=kernels,
     )
 
 
@@ -176,6 +182,12 @@ class RoadmapCache:
         identical answers, none of the amortisation).
     tracer:
         Optional :class:`~repro.obs.Tracer` for cache events/metrics.
+    kernels:
+        Optional :mod:`repro.kernels` backend (name or instance) the
+        default builder threads through build and serving.  Roadmaps
+        built under different backends can differ, so a non-reference
+        backend participates in the cache key — entries never alias
+        across backends.
     """
 
     def __init__(
@@ -187,13 +199,16 @@ class RoadmapCache:
         local_planner=None,
         enabled: bool = True,
         tracer: "Tracer | None" = None,
+        kernels=None,
     ):
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be >= 0 (or None for unbounded)")
         self.max_bytes = max_bytes
+        self.kernels = kernels
         if builder is None:
             builder = lambda spec: build_engine(  # noqa: E731
-                spec, k=k, nn_factory=nn_factory, local_planner=local_planner
+                spec, k=k, nn_factory=nn_factory, local_planner=local_planner,
+                kernels=kernels,
             )
         self._builder = builder
         self.enabled = enabled
@@ -223,8 +238,21 @@ class RoadmapCache:
         with self._lock:
             return len(self._entries)
 
+    def _key_for(self, spec: WorkloadSpec) -> str:
+        """Cache key of ``spec`` under this cache's kernel backend.
+
+        The workload hash alone would alias roadmaps built by different
+        backends (fast32 verdicts can diverge near obstacle faces), so a
+        non-default backend is appended to the key.
+        """
+        key = spec.cache_key()
+        if self.kernels is None:
+            return key
+        name = self.kernels if isinstance(self.kernels, str) else self.kernels.name
+        return f"{key}|kernels={name}"
+
     def __contains__(self, spec: "WorkloadSpec | str") -> bool:
-        key = spec if isinstance(spec, str) else spec.cache_key()
+        key = spec if isinstance(spec, str) else self._key_for(spec)
         with self._lock:
             return key in self._entries
 
@@ -235,7 +263,7 @@ class RoadmapCache:
         Raises whatever the builder raised (after recording the miss);
         concurrent callers of a failed build all see the same exception.
         """
-        key = spec.cache_key()
+        key = self._key_for(spec)
         if not self.enabled:
             with self._lock:
                 self._stats.misses += 1
@@ -307,7 +335,7 @@ class RoadmapCache:
 
     def put(self, spec: WorkloadSpec, engine: QueryEngine) -> None:
         """Pre-warm: install an already-built engine under ``spec``'s key."""
-        key = spec.cache_key()
+        key = self._key_for(spec)
         nbytes = snapshot_nbytes(engine)
         with self._lock:
             old = self._entries.pop(key, None)

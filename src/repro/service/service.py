@@ -181,6 +181,10 @@ class PlanService:
                 nn_factory=self.config.nn_factory,
                 enabled=self.config.cache_enabled,
                 tracer=tracer,
+                # End of the ExecutionPolicy.kernel_backend chain: builds
+                # and serving both run on the configured backend (None =
+                # inherit, i.e. reference).
+                kernels=self.config.execution.kernel_backend,
             )
         self.cache = cache
         self._cond = threading.Condition()

@@ -184,6 +184,11 @@ class ExecutionPolicy:
     backend: str = "thread"
     #: tasks per submission (>1 amortises dispatch for tiny regions).
     chunksize: int = 1
+    #: compute-kernel backend for the collision/distance hot paths (a
+    #: :mod:`repro.kernels` registry name).  ``None`` keeps whatever the
+    #: environment is configured with — ``"reference"`` (bit-exact)
+    #: unless explicitly changed, so the default is reference everywhere.
+    kernel_backend: "str | None" = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on any out-of-range or unknown field."""
@@ -201,6 +206,14 @@ class ExecutionPolicy:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
         if self.chunksize < 1:
             raise ValueError("chunksize must be >= 1")
+        if self.kernel_backend is not None:
+            from .kernels import available_backends
+
+            if self.kernel_backend not in available_backends():
+                raise ValueError(
+                    f"kernel_backend must be one of {available_backends()} "
+                    f"(or None), got {self.kernel_backend!r}"
+                )
 
 
 @dataclass(frozen=True)

@@ -255,3 +255,60 @@ class TestBlockGrowing:
         nn = BruteForceNN(2)
         with pytest.raises(ValueError):
             nn.knn_block_growing(np.arange(3), rng.uniform(size=(2, 2)), 2)
+
+
+class TestBatchArrays:
+    """The array-native ``knn_batch_arrays`` contract: padded ``(m, k)``
+    id/distance arrays whose finite prefix matches ``knn_batch`` exactly,
+    across every backend (base-class adapter included)."""
+
+    def test_matches_knn_batch_across_backends(self, rng):
+        pts = rng.uniform(0.0, 10.0, size=(60, 3))
+        ids = np.arange(60, dtype=np.int64)
+        queries = rng.uniform(0.0, 10.0, size=(9, 3))
+        k = 5
+        for nn in _backends(3):
+            nn.add_batch(ids, pts)
+            pairs = nn.knn_batch(queries, k)
+            aid, adist = nn.knn_batch_arrays(queries, k)
+            assert aid.shape == (9, k) and adist.shape == (9, k)
+            assert aid.dtype == np.int64
+            for row, expect in enumerate(pairs):
+                got = [
+                    (int(aid[row, j]), float(adist[row, j]))
+                    for j in range(k)
+                    if np.isfinite(adist[row, j])
+                ]
+                assert got == expect
+
+    def test_padding_when_store_is_small(self, rng):
+        queries = rng.uniform(size=(3, 2))
+        for nn in _backends(2):
+            nn.add(7, np.zeros(2))
+            aid, adist = nn.knn_batch_arrays(queries, 4)
+            assert aid.shape == (3, 4) and adist.shape == (3, 4)
+            assert np.all(aid[:, 1:] == -1)
+            assert np.all(np.isinf(adist[:, 1:]))
+            assert np.all(aid[:, 0] == 7) and np.all(np.isfinite(adist[:, 0]))
+
+    def test_empty_store_and_empty_queries(self):
+        for nn in _backends(2):
+            aid, adist = nn.knn_batch_arrays(np.zeros((2, 2)), 3)
+            assert aid.shape == (2, 3) and np.all(aid == -1)
+            assert np.all(np.isinf(adist))
+            aid, adist = nn.knn_batch_arrays(np.empty((0, 2)), 3)
+            assert aid.shape == (0, 3) and adist.shape == (0, 3)
+
+    def test_brute_fast32_backend_matches_reference_ids(self, rng):
+        pts = rng.uniform(0.0, 10.0, size=(200, 3))
+        ids = np.arange(200, dtype=np.int64)
+        queries = rng.uniform(0.0, 10.0, size=(16, 3))
+        ref = BruteForceNN(3)
+        fast = BruteForceNN(3, kernels="fast32")
+        ref.add_batch(ids, pts)
+        fast.add_batch(ids, pts)
+        rid, rdist = ref.knn_batch_arrays(queries, 6)
+        fid, fdist = fast.knn_batch_arrays(queries, 6)
+        np.testing.assert_allclose(fdist, rdist, rtol=1e-4, atol=1e-9)
+        # uniform draws are tie-free at this scale: ids must agree
+        np.testing.assert_array_equal(fid, rid)

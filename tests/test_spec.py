@@ -286,3 +286,20 @@ class TestUnifiedEntryPoints:
             if a is not None:
                 assert a.path_vertices == b.path_vertices
                 assert np.array_equal(a.path_configs, b.path_configs)
+
+
+class TestKernelBackendPolicy:
+    def test_default_is_inherit(self):
+        ex = ExecutionPolicy()
+        assert ex.kernel_backend is None
+        ex.validate()  # None is always valid
+
+    def test_known_backends_validate(self):
+        from repro.kernels import available_backends
+
+        for name in available_backends():
+            ExecutionPolicy(kernel_backend=name).validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="kernel_backend"):
+            ExecutionPolicy(kernel_backend="fortran77").validate()
