@@ -4,8 +4,9 @@ Times the operations the PRM and RRT builds spend their lives in —
 sequential-vs-batched roadmap construction, sequential-vs-batched RRT
 growth (plain med-cube growth and the radial-subdivision workload on a
 Fig. 10 environment), batched local planning, k-NN, amortised query
-serving (single and batched, plus k-NN backend scaling), and pool
-scaling —
+serving (single and batched, plus k-NN backend scaling), pool scaling,
+and BVH-vs-brute-force collision scaling on procedural warehouse scenes
+(bit-exact verdict parity at 10^3-10^5 obstacles) —
 on fixed seeds, and writes the measurements to a JSON file
 (``BENCH_perf.json`` by default) so regressions show up as diffs.
 
@@ -60,6 +61,7 @@ SCALES = {
         "kernel_points": 2000, "kernel_segments": 1000,
         "kernel_knn_stored": 1000, "kernel_knn_queries": 64,
         "kernel_lp_pairs": 300, "kernel_prm_samples": 250, "kernel_prm_queries": 20,
+        "bvh_sizes": [300, 2000], "bvh_prm_obstacles": 500, "bvh_prm_samples": 150,
     },
     "medium": {
         "prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64,
@@ -69,6 +71,7 @@ SCALES = {
         "kernel_points": 20000, "kernel_segments": 8000,
         "kernel_knn_stored": 4000, "kernel_knn_queries": 512,
         "kernel_lp_pairs": 3000, "kernel_prm_samples": 1200, "kernel_prm_queries": 60,
+        "bvh_sizes": [1000, 10000, 100000], "bvh_prm_obstacles": 3000, "bvh_prm_samples": 500,
     },
 }
 
@@ -700,6 +703,124 @@ def bench_prm_build_fast32(params: dict) -> dict:
     }
 
 
+def bench_bvh_collision_scaling(params: dict) -> dict:
+    """Brute-force reference vs BVH-culled collision kernels on procedural
+    warehouse scenes across obstacle counts.
+
+    Unlike the fast32 gates this one is **bit-exact**: the ``bvh`` backend
+    culls with a conservative tree but decides with the reference
+    expressions, so verdicts must be *equal*, not statistically close.
+    Query counts shrink as obstacle counts grow because the reference
+    side materialises ``(n_queries, n_obstacles, dim)`` temporaries.
+    """
+    from ..geometry.scenarios import shelf_warehouse
+
+    ref = get_backend("reference")
+    bvh = get_backend("bvh")
+    rows = {}
+    all_equal = True
+    for n in params["bvh_sizes"]:
+        n_pts = int(min(2000, max(400, 10_000_000 // n)))
+        n_seg = int(min(1000, max(64, 4_000_000 // n)))
+        env = shelf_warehouse(n, seed=_SEED)
+        data = env.kernel_data()
+        rng = np.random.default_rng(_SEED)
+        lo, hi = env.bounds.lo, env.bounds.hi
+        pts = rng.uniform(lo, hi, size=(n_pts, 3))
+        p = rng.uniform(lo, hi, size=(n_seg, 3))
+        q = np.clip(p + rng.uniform(-3.0, 3.0, size=p.shape), lo, hi)
+
+        t0 = time.perf_counter()
+        from ..kernels.bvh_backend import _box_tree
+
+        _box_tree(data)  # pay the build once, outside the timed region
+        build_s = time.perf_counter() - t0
+
+        repeats = params["repeats"] if n <= 1000 else min(params["repeats"], 2)
+        before_s, (rp, rs) = _best_of(
+            repeats, lambda: (ref.points_free(data, pts), ref.segments_free(data, p, q))
+        )
+        after_s, (bp, bs) = _best_of(
+            repeats, lambda: (bvh.points_free(data, pts), bvh.segments_free(data, p, q))
+        )
+        verdicts_equal = bool(np.array_equal(rp, bp) and np.array_equal(rs, bs))
+        if not verdicts_equal:
+            raise AssertionError(
+                f"bvh collision verdicts diverged from reference at n={n} "
+                "(the bvh contract is bit-exact, not statistical)"
+            )
+        all_equal = all_equal and verdicts_equal
+        rows[str(n)] = {
+            "n_obstacles": n,
+            "n_points": n_pts,
+            "n_segments": n_seg,
+            "build_s": build_s,
+            "before_s": before_s,
+            "after_s": after_s,
+            "speedup": before_s / after_s,
+            "verdicts_equal": verdicts_equal,
+        }
+    return {
+        "scenario": "warehouse",
+        "sizes": list(params["bvh_sizes"]),
+        "rows": rows,
+        "verdicts_equal": all_equal,
+        "_kernel_backend": "bvh",
+    }
+
+
+def bench_prm_build_bvh(params: dict) -> dict:
+    """End-to-end PRM build on a dense warehouse scene: reference backend
+    vs ``bvh`` selected through ``cspace.set_kernel_backend``.
+
+    Where ``prm_build_fast32`` settles for behavioural equivalence
+    (float32 verdicts may flip in the eps band), this gate is the full
+    exact-parity surface of the batched-vs-sequential benches: stats,
+    counters, and edges must be identical, because the bvh backend is
+    bit-exact by construction.
+    """
+    from ..geometry.scenarios import shelf_warehouse
+
+    n_obs = params["bvh_prm_obstacles"]
+    n = params["bvh_prm_samples"]
+
+    def build(backend):
+        """One timed PRM build under ``backend`` (None = reference default)."""
+        cs = EuclideanCSpace(shelf_warehouse(n_obs, seed=_SEED))
+        if backend is not None:
+            cs.set_kernel_backend(backend)
+        prm = PRM(cs, k=6, batched=True)
+        res = prm.build(n, np.random.default_rng(_SEED))
+        counters = (cs.env.counters.point_checks, cs.env.counters.segment_checks)
+        edges = sorted((min(u, v), max(u, v), w) for u, v, w in res.roadmap.edges())
+        return asdict(res.stats), counters, edges
+
+    repeats = min(params["repeats"], 2)
+    before_s, ref = _best_of(repeats, lambda: build(None))
+    after_s, fast = _best_of(repeats, lambda: build("bvh"))
+    stats_equal = ref[0] == fast[0]
+    counters_equal = ref[1] == fast[1]
+    edges_equal = ref[2] == fast[2]
+    if not (stats_equal and counters_equal and edges_equal):
+        raise AssertionError(
+            "bvh PRM build diverged from the reference backend: "
+            f"stats_equal={stats_equal} counters_equal={counters_equal} "
+            f"edges_equal={edges_equal}"
+        )
+    return {
+        "environment": f"warehouse-{n_obs}",
+        "n_obstacles": n_obs,
+        "n_samples": n,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "stats_equal": stats_equal,
+        "counters_equal": counters_equal,
+        "edges_equal": edges_equal,
+        "_kernel_backend": "bvh",
+    }
+
+
 _BENCHMARKS = {
     "prm_build_default_path": bench_prm_build,
     "rrt_build_default_path": bench_rrt_build,
@@ -714,6 +835,8 @@ _BENCHMARKS = {
     "kernel_knn": bench_kernel_knn,
     "kernel_local_plan": bench_kernel_local_plan,
     "prm_build_fast32": bench_prm_build_fast32,
+    "bvh_collision_scaling": bench_bvh_collision_scaling,
+    "prm_build_bvh": bench_prm_build_bvh,
 }
 
 #: Keys every benchmark entry must carry for the file to be well-formed.
@@ -731,6 +854,8 @@ _REQUIRED_FIELDS = {
     "kernel_knn": ("before_s", "after_s", "speedup", "dists_close", "ids_equal_tiefree"),
     "kernel_local_plan": ("before_s", "after_s", "speedup", "checks_equal", "verdicts_equal_stable"),
     "prm_build_fast32": ("before_s", "after_s", "speedup", "success_equal", "lengths_close"),
+    "bvh_collision_scaling": ("sizes", "rows", "verdicts_equal"),
+    "prm_build_bvh": ("before_s", "after_s", "speedup", "stats_equal", "counters_equal", "edges_equal"),
 }
 
 #: Parity flags that must not be false in a well-formed kernel row.
@@ -739,11 +864,18 @@ _KERNEL_PARITY_FLAGS = {
     "kernel_knn": ("dists_close", "ids_equal_tiefree"),
     "kernel_local_plan": ("checks_equal", "verdicts_equal_stable"),
     "prm_build_fast32": ("success_equal", "lengths_close"),
+    "bvh_collision_scaling": ("verdicts_equal",),
+    "prm_build_bvh": ("stats_equal", "counters_equal", "edges_equal"),
 }
 
 #: Medium-scale speedup floor for the fast32 microbenches: below this the
 #: float32 blocked layouts have regressed into pointlessness.
 _KERNEL_SPEEDUP_FLOOR = 1.8
+
+#: Medium-scale floor for the BVH at 10k warehouse obstacles — the
+#: acceptance bar from the scaling work: a tree that can't beat the
+#: brute-force scan 5x at 10^4 primitives isn't pulling its weight.
+_BVH_SPEEDUP_FLOOR = 5.0
 
 
 def run_suite(scale: str = "medium") -> dict:
@@ -824,6 +956,23 @@ def validate(payload: object) -> "list[str]":
                 problems.append(
                     f"benchmark {name!r} missing runtime meta (kernel_backend/numpy/numba)"
                 )
+    scaling = benches.get("bvh_collision_scaling", {})
+    rows = scaling.get("rows")
+    if isinstance(rows, dict):
+        for size, row in rows.items():
+            if not isinstance(row, dict):
+                problems.append(f"bvh_collision_scaling row {size!r} is not an object")
+                continue
+            for f in ("before_s", "after_s", "speedup", "build_s"):
+                if not (isinstance(row.get(f), (int, float)) and row[f] > 0):
+                    problems.append(
+                        f"bvh_collision_scaling row {size!r} field {f!r} "
+                        "is not a positive number"
+                    )
+            if row.get("verdicts_equal") is False:
+                problems.append(
+                    f"bvh_collision_scaling row {size!r} reports verdicts_equal=false"
+                )
     if payload.get("scale") == "medium":
         for bench_name in ("kernel_collision", "kernel_knn"):
             sp = benches.get(bench_name, {}).get("speedup")
@@ -832,6 +981,14 @@ def validate(payload: object) -> "list[str]":
                     f"{bench_name} speedup {sp:.2f}x is below the "
                     f"{_KERNEL_SPEEDUP_FLOOR}x fast32 floor"
                 )
+        sp = rows.get("10000", {}).get("speedup") if isinstance(rows, dict) else None
+        if not isinstance(sp, (int, float)):
+            problems.append("bvh_collision_scaling is missing the 10000-obstacle row")
+        elif sp < _BVH_SPEEDUP_FLOOR:
+            problems.append(
+                f"bvh_collision_scaling speedup {sp:.2f}x at 10k obstacles is "
+                f"below the {_BVH_SPEEDUP_FLOOR}x bvh floor"
+            )
     # Serve rows are optional extras merged in by `python -m repro.bench
     # serve`; when present they must be well-formed and parity-clean.
     from .serve import validate_serve_rows
@@ -878,6 +1035,14 @@ def main(argv: "list[str]") -> int:
     qb = payload["benchmarks"]["query_batch"]
     kc = payload["benchmarks"]["kernel_collision"]
     kn = payload["benchmarks"]["kernel_knn"]
+    bvh_rows = payload["benchmarks"]["bvh_collision_scaling"]["rows"]
+    bvh_scaling = ", ".join(
+        f"{int(s)//1000}k: {bvh_rows[s]['speedup']:.1f}x"
+        for s in sorted(bvh_rows, key=int)
+        if int(s) >= 1000
+    ) or ", ".join(
+        f"{s}: {bvh_rows[s]['speedup']:.1f}x" for s in sorted(bvh_rows, key=int)
+    )
     print(
         f"wrote {args.output}: prm build {prm['speedup']:.2f}x "
         f"({prm['before_s']*1e3:.0f}ms -> {prm['after_s']*1e3:.0f}ms at "
@@ -886,7 +1051,8 @@ def main(argv: "list[str]") -> int:
         f"n={rrt['n_nodes']}), query batch {qb['speedup']:.2f}x "
         f"({qb['n_queries']} queries on {qb['n_vertices']} vertices), "
         f"fast32 kernels {kc['speedup']:.2f}x collision / "
-        f"{kn['speedup']:.2f}x knn, counts identical"
+        f"{kn['speedup']:.2f}x knn, bvh collision ({bvh_scaling}), "
+        f"counts identical"
     )
     return 0
 

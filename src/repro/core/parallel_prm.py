@@ -259,7 +259,7 @@ def build_prm_workload(
     """
     if narrow_passage_boost < 0:
         raise ValueError("narrow_passage_boost must be non-negative")
-    work_model = work_model or WorkModel()
+    work_model = work_model if work_model is not None else WorkModel()
     pos_bounds = _positional_bounds(cspace)
     subdivision = UniformSubdivision(pos_bounds, num_regions, overlap=overlap)
     planner = PRM(
@@ -414,7 +414,7 @@ def simulate_prm(
     abandoned regions keep their pre-phase owner for the downstream
     connection accounting.
     """
-    topology = topology or ClusterTopology(num_pes)
+    topology = topology if topology is not None else ClusterTopology(num_pes)
     if topology.num_pes != num_pes:
         raise ValueError("topology PE count mismatch")
     tr = active(tracer)

@@ -223,7 +223,7 @@ def build_rrt_workload(
     canonical (distance, insertion order) tie-break, so the workload is
     identical whichever backend is chosen.
     """
-    work_model = work_model or WorkModel()
+    work_model = work_model if work_model is not None else WorkModel()
     root = np.asarray(root, dtype=float)
     if not cspace.valid_single(root):
         raise ValueError("RRT root configuration is invalid")
@@ -392,7 +392,7 @@ def simulate_rrt(
     """
     from ..partition.naive import partition_block
 
-    topology = topology or ClusterTopology(num_pes)
+    topology = topology if topology is not None else ClusterTopology(num_pes)
     if topology.num_pes != num_pes:
         raise ValueError("topology PE count mismatch")
     tr = active(tracer)

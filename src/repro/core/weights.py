@@ -78,7 +78,7 @@ def rrt_k_rays_weights(
     """
     if k_rays < 1:
         raise ValueError("k_rays must be >= 1")
-    rng = rng or np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)
     weights: "dict[int, float]" = {}
     casts = 0
     root = radial.root

@@ -1,5 +1,6 @@
 """Workspace geometry: primitives, environments, and collision checking."""
 
+from .bvh import BVH
 from .environment import CollisionCounters, Environment
 from .environments import (
     by_name,
@@ -14,6 +15,14 @@ from .environments import (
     walls_env,
 )
 from .primitives import AABB, Sphere, aabb_from_points, aabb_union
+from .scenarios import (
+    available_scenarios,
+    city_grid,
+    cluttered_spheres,
+    fingerprint,
+    scenario_by_name,
+    shelf_warehouse,
+)
 from .transforms import (
     angular_difference,
     rot2d,
@@ -25,11 +34,18 @@ from .transforms import (
 
 __all__ = [
     "AABB",
+    "BVH",
     "Sphere",
     "aabb_from_points",
     "aabb_union",
     "CollisionCounters",
     "Environment",
+    "available_scenarios",
+    "city_grid",
+    "cluttered_spheres",
+    "fingerprint",
+    "scenario_by_name",
+    "shelf_warehouse",
     "by_name",
     "cluttered_env",
     "cube_env",

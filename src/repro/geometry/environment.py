@@ -281,9 +281,15 @@ class Environment:
         return np.vstack(out)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        # blocked_fraction's pairwise overlap correction is O(n^2); on the
+        # 10^4-10^5-obstacle scenario environments a repr must stay cheap.
+        if self.num_obstacles <= 2000:
+            blocked = f"{self.blocked_fraction():.2%}"
+        else:
+            blocked = "n/a"
         return (
             f"Environment(name={self.name!r}, dim={self.dim}, "
-            f"obstacles={self.num_obstacles}, blocked={self.blocked_fraction():.2%})"
+            f"obstacles={self.num_obstacles}, blocked={blocked})"
         )
 
 

@@ -12,6 +12,10 @@ registry:
 * ``fast32`` — float32 blocked/tiled kernels over the structure-of-arrays
   snapshot (:class:`~repro.kernels.data.EnvKernelData`); statistically
   equivalent, ~2x on medium scenes (see BENCH_perf.json).
+* ``bvh`` — BVH-culled collision kernels for obstacle-heavy scenes
+  (10³–10⁵ primitives, see ``repro.geometry.scenarios``); *bit-exact*
+  with the reference (the tree culls, leaf tests are the reference
+  expressions), distance primitives delegate to ``reference``.
 * ``numba`` — compiled scalar loops with early exit; registered only when
   numba imports, silently absent otherwise.
 
@@ -27,6 +31,7 @@ see the recipe in DESIGN.md.
 from __future__ import annotations
 
 from .base import KernelBackend
+from .bvh_backend import BVHKernels
 from .data import EnvKernelData
 from .fast32 import Fast32Kernels
 from .reference import ReferenceKernels
@@ -37,6 +42,7 @@ __all__ = [
     "EnvKernelData",
     "ReferenceKernels",
     "Fast32Kernels",
+    "BVHKernels",
     "DEFAULT_BACKEND",
     "register",
     "get_backend",
@@ -100,6 +106,7 @@ def numba_available() -> bool:
 
 register("reference", ReferenceKernels)
 register("fast32", Fast32Kernels)
+register("bvh", BVHKernels)
 
 try:  # numba is optional: absent => the backend simply isn't listed.
     from .numba_backend import NumbaKernels

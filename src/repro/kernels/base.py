@@ -23,7 +23,10 @@ touches planner logic.  Contracts:
   expressions; fast backends guarantee *statistical* equivalence only —
   identical verdicts away from decision boundaries, distances within
   float32 rounding (see the equivalence gates in ``tests/test_kernels.py``
-  and ``repro.bench.perf``).
+  and ``repro.bench.perf``).  The ``bvh`` backend is the exception among
+  the accelerated backends: it culls with a conservative tree but decides
+  with the reference expressions, so it is held to *bit-exact* gates
+  (``tests/test_bvh.py``).
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@ the suite (sequential-vs-batched PRM/RRT replay, canonical k-NN
 cross-checks) runs through this backend and must stay green with zero
 tolerance changes; fast backends are instead held to the statistical
 gates described in :mod:`repro.kernels.base`.
+
+The per-primitive tests are exposed as array-level functions
+(``points_hit_boxes`` and friends) so the ``bvh`` backend can run the
+*identical* expressions over the primitive subsets its tree narrows each
+query to — that sharing is what makes the BVH backend bit-exact rather
+than merely statistically equivalent (see ``repro.kernels.bvh_backend``).
 """
 
 from __future__ import annotations
@@ -18,7 +24,14 @@ from .base import KernelBackend
 from .data import EnvKernelData
 from .select import select_canonical_rows
 
-__all__ = ["ReferenceKernels", "pairwise_accumulate_exact"]
+__all__ = [
+    "ReferenceKernels",
+    "pairwise_accumulate_exact",
+    "points_hit_boxes",
+    "points_hit_spheres",
+    "segments_hit_boxes",
+    "segments_hit_spheres",
+]
 
 
 def pairwise_accumulate_exact(stored: np.ndarray, queries: np.ndarray, out: np.ndarray) -> None:
@@ -47,13 +60,29 @@ def pairwise_accumulate_exact(stored: np.ndarray, queries: np.ndarray, out: np.n
     np.sqrt(s, out=out)
 
 
-def _segments_hit_boxes(data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np.ndarray:
-    """Slab test of n segments against the box obstacles -> (n,) bool.
+def points_hit_boxes(box_lo: np.ndarray, box_hi: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """``(n,)`` bool: point is inside (inclusively) some box — the exact
+    containment expression of the historical ``points_in_collision``."""
+    return np.all(
+        (pts[:, None, :] >= box_lo[None, :, :]) & (pts[:, None, :] <= box_hi[None, :, :]),
+        axis=2,
+    ).any(axis=1)
 
-    Verbatim the historical ``Environment._segments_hit`` body, reading
-    the snapshot's box arrays.
+
+def points_hit_spheres(sph_center: np.ndarray, sph_radius: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """``(n,)`` bool: point is inside (inclusively) some sphere."""
+    diff = pts[:, None, :] - sph_center[None, :, :]
+    dist2 = np.einsum("imj,imj->im", diff, diff)
+    return (dist2 <= sph_radius[None, :] ** 2).any(axis=1)
+
+
+def segments_hit_boxes(
+    obs_lo: np.ndarray, obs_hi: np.ndarray, p: np.ndarray, q: np.ndarray
+) -> np.ndarray:
+    """Slab test of n segments against m box obstacles -> (n,) bool.
+
+    Verbatim the historical ``Environment._segments_hit`` body.
     """
-    obs_lo, obs_hi = data.box_lo, data.box_hi
     d = q - p  # (n, dim)
     m = obs_lo.shape[0]
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -74,10 +103,12 @@ def _segments_hit_boxes(data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np
     return hit.any(axis=1)
 
 
-def _segments_hit_spheres(data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+def segments_hit_spheres(
+    sph_center: np.ndarray, sph_radius: np.ndarray, p: np.ndarray, q: np.ndarray
+) -> np.ndarray:
     """Exact segment-vs-sphere test: closest point on the segment to each
     center, clamped to the parameter range, against the radius."""
-    c, r = data.sph_center, data.sph_radius
+    c, r = sph_center, sph_radius
     d = q - p  # (n, dim)
     dd = np.einsum("ij,ij->i", d, d)  # (n,)
     f = p[:, None, :] - c[None, :, :]  # (n, m, dim)
@@ -100,16 +131,9 @@ class ReferenceKernels(KernelBackend):
         pts = np.atleast_2d(np.asarray(points, dtype=float))
         free = np.all((pts >= data.bounds_lo) & (pts <= data.bounds_hi), axis=-1)
         if data.num_boxes:
-            inside = np.all(
-                (pts[:, None, :] >= data.box_lo[None, :, :])
-                & (pts[:, None, :] <= data.box_hi[None, :, :]),
-                axis=2,
-            )
-            free = free & ~inside.any(axis=1)
+            free = free & ~points_hit_boxes(data.box_lo, data.box_hi, pts)
         if data.num_spheres:
-            diff = pts[:, None, :] - data.sph_center[None, :, :]
-            dist2 = np.einsum("imj,imj->im", diff, diff)
-            free = free & ~(dist2 <= data.sph_radius[None, :] ** 2).any(axis=1)
+            free = free & ~points_hit_spheres(data.sph_center, data.sph_radius, pts)
         return free
 
     def segments_free(self, data: EnvKernelData, p: np.ndarray, q: np.ndarray) -> np.ndarray:
@@ -119,9 +143,9 @@ class ReferenceKernels(KernelBackend):
             (q >= data.bounds_lo) & (q <= data.bounds_hi), axis=-1
         )
         if data.num_boxes:
-            free = free & ~_segments_hit_boxes(data, p, q)
+            free = free & ~segments_hit_boxes(data.box_lo, data.box_hi, p, q)
         if data.num_spheres:
-            free = free & ~_segments_hit_spheres(data, p, q)
+            free = free & ~segments_hit_spheres(data.sph_center, data.sph_radius, p, q)
         return free
 
     def pairwise_accumulate(self, stored: np.ndarray, queries: np.ndarray, out: np.ndarray) -> None:

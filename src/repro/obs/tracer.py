@@ -66,7 +66,7 @@ class Tracer:
             t0 = time.perf_counter()
             clock = lambda: time.perf_counter() - t0  # noqa: E731
         self.clock = clock
-        self.metrics = metrics or MetricRegistry()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
 
     # -- emission -----------------------------------------------------------
     def emit(

@@ -182,8 +182,9 @@ class QueryEngine:
             self.frozen = roadmap
         else:
             self.frozen = FrozenRoadmap.from_roadmap(roadmap)
-        self.local_planner = local_planner or StraightLinePlanner(
-            resolution=0.25, kernels=kernels
+        self.local_planner = (
+            local_planner if local_planner is not None
+            else StraightLinePlanner(resolution=0.25, kernels=kernels)
         )
         self.k = k
         n = self.frozen.num_vertices

@@ -89,13 +89,16 @@ class PRM:
         fail_fast: bool = False,
     ):
         self.cspace = cspace
-        self.sampler = sampler or UniformSampler()
-        self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
+        self.sampler = sampler if sampler is not None else UniformSampler()
+        self.local_planner = (
+            local_planner if local_planner is not None
+            else StraightLinePlanner(resolution=0.25)
+        )
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
         self.connect_same_component = connect_same_component
-        self.nn_factory = nn_factory or BruteForceNN
+        self.nn_factory = nn_factory if nn_factory is not None else BruteForceNN
         self.batched = batched
         self.fail_fast = fail_fast
 

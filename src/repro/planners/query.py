@@ -117,9 +117,12 @@ class RoadmapQuery:
         nn_factory=None,
     ):
         self.cspace = cspace
-        self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
+        self.local_planner = (
+            local_planner if local_planner is not None
+            else StraightLinePlanner(resolution=0.25)
+        )
         self.k = k
-        self.nn_factory = nn_factory or BruteForceNN
+        self.nn_factory = nn_factory if nn_factory is not None else BruteForceNN
 
     def _attach(self, rmap: Roadmap, config: np.ndarray, vid: int) -> bool:
         """Add ``config`` as vertex ``vid`` and link it to up to k nearest

@@ -124,9 +124,12 @@ class RRT:
             raise ValueError("goal_bias must be in [0, 1]")
         self.cspace = cspace
         self.step_size = step_size
-        self.local_planner = local_planner or StraightLinePlanner(resolution=0.25)
+        self.local_planner = (
+            local_planner if local_planner is not None
+            else StraightLinePlanner(resolution=0.25)
+        )
         self.goal_bias = goal_bias
-        self.nn_factory = nn_factory or BruteForceNN
+        self.nn_factory = nn_factory if nn_factory is not None else BruteForceNN
         self.batched = batched
 
     def grow(

@@ -32,7 +32,7 @@ def shortcut_smooth(
 ) -> np.ndarray:
     """Random shortcut smoothing: repeatedly try to replace a sub-path with
     a straight valid segment.  Never increases path length."""
-    lp = local_planner or StraightLinePlanner(resolution=0.25)
+    lp = local_planner if local_planner is not None else StraightLinePlanner(resolution=0.25)
     path = [np.asarray(c, dtype=float) for c in np.atleast_2d(configs)]
     for _ in range(iterations):
         if len(path) < 3:

@@ -166,7 +166,7 @@ class WorkStealingSimulator:
         self.backoff_base = backoff_base
         self.max_idle_rounds = max_idle_rounds
         self.offload_service = offload_service
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.fault_injector = fault_injector

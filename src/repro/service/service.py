@@ -170,7 +170,7 @@ class PlanService:
         tracer: "Tracer | None" = None,
         cache: "RoadmapCache | None" = None,
     ):
-        self.config = config or ServiceConfig()
+        self.config = config if config is not None else ServiceConfig()
         self.config.validate()
         self._tracer = active(tracer)
         self._raw_tracer = tracer

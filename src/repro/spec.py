@@ -185,9 +185,12 @@ class ExecutionPolicy:
     #: tasks per submission (>1 amortises dispatch for tiny regions).
     chunksize: int = 1
     #: compute-kernel backend for the collision/distance hot paths (a
-    #: :mod:`repro.kernels` registry name).  ``None`` keeps whatever the
-    #: environment is configured with — ``"reference"`` (bit-exact)
-    #: unless explicitly changed, so the default is reference everywhere.
+    #: :mod:`repro.kernels` registry name — ``"fast32"`` for float32
+    #: blocked compute, ``"bvh"`` for tree-culled queries on
+    #: obstacle-heavy scenes, bit-exact with reference).  ``None`` keeps
+    #: whatever the environment is configured with — ``"reference"``
+    #: (bit-exact) unless explicitly changed, so the default is
+    #: reference everywhere.
     kernel_backend: "str | None" = None
 
     def validate(self) -> None:

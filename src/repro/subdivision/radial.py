@@ -106,7 +106,7 @@ class RadialSubdivision:
         self.num_regions = int(num_regions)
         self.k = min(k, num_regions - 1) if num_regions > 1 else 0
         self.overlap = float(overlap)
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(0)
 
         sphere = Sphere(self.root, self.radius)
         targets = np.atleast_2d(sphere.surface_sample(rng, self.num_regions))

@@ -82,7 +82,10 @@ class UniformSubdivision:
         self.bounds = bounds
         self.overlap = overlap
         self.include_diagonal = include_diagonal
-        self.shape = shape or grid_shape_for(num_regions, bounds.dim, bounds.extents)
+        self.shape = (
+            shape if shape is not None
+            else grid_shape_for(num_regions, bounds.dim, bounds.extents)
+        )
         if len(self.shape) != bounds.dim:
             raise ValueError("shape dimensionality mismatch")
         self._cell = bounds.extents / np.asarray(self.shape, dtype=float)
