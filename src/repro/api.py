@@ -61,6 +61,7 @@ from .core.parallel_rrt import (
     simulate_rrt,
 )
 from .cspace.space import ConfigurationSpace
+from .knn import get_nn_factory
 from .obs.summary import TraceSummary, format_summary, summarize_events
 from .obs.tracer import active
 from .planners.engine import BatchQueryResult, QueryEngine
@@ -157,10 +158,14 @@ class PlanReport:
         :meth:`solve_queries`) reuse the same snapshot and index.
         ``kernels`` defaults to the plan's own
         ``ExecutionPolicy.kernel_backend``, so a fast32 plan serves its
-        queries through fast32 kernels too.
+        queries through fast32 kernels too; ``nn_factory`` likewise
+        defaults to the plan's ``ExecutionPolicy.nn_backend`` (a
+        :mod:`repro.knn` registry name is accepted directly).
         """
         if kernels is None:
             kernels = self.request.execution.kernel_backend
+        if nn_factory is None:
+            nn_factory = self.request.execution.nn_backend
         key = (k, nn_factory, local_planner, kernels)
         cached = getattr(self, "_engine_cache", None)
         if cached is not None and cached[0] == key:
@@ -213,6 +218,22 @@ class PlanReport:
             return None
         return summarize_events(tr.memory.events)
 
+    @property
+    def planner_stats(self):
+        """Merged per-region operation counts (simulate mode; None for
+        local execution, where the counts stay with the pool tasks)."""
+        if self.workload is None:
+            return None
+        from .planners.stats import PlannerStats
+
+        work = getattr(self.workload, "region_work", None)
+        if work is None:
+            work = self.workload.branch_work
+        total = PlannerStats()
+        for w in work.values():
+            total += w.stats
+        return total
+
     def summary(self) -> str:
         """Human-readable report of the run."""
         lines = [
@@ -237,7 +258,7 @@ class PlanReport:
             )
         ts = self.trace_summary()
         if ts is not None:
-            lines += ["", format_summary(ts)]
+            lines += ["", format_summary(ts, planner_stats=self.planner_stats)]
         return "\n".join(lines)
 
 
@@ -276,13 +297,18 @@ def plan(
         cspace.set_kernel_backend(ex.kernel_backend)
     if ex.mode == "local":
         return _plan_local(request, cspace)
+    # Workload options may already carry an explicit nn_factory; the
+    # policy's nn_backend fills it in only when they don't.
+    wl_options = dict(wl.options)
+    if ex.nn_backend is not None:
+        wl_options.setdefault("nn_factory", get_nn_factory(ex.nn_backend))
     if wl.planner == "prm":
         workload = build_prm_workload(
             cspace,
             num_regions=wl.num_regions,
             samples_per_region=wl.samples_per_region,
             seed=wl.seed,
-            **wl.options,
+            **wl_options,
         )
         result = simulate_prm(
             workload,
@@ -303,7 +329,7 @@ def plan(
             num_regions=wl.num_regions,
             nodes_per_region=wl.nodes_per_region,
             seed=wl.seed,
-            **wl.options,
+            **wl_options,
         )
         result = simulate_rrt(
             workload,
@@ -354,11 +380,16 @@ def _prm_region_task(
     subdivision: UniformSubdivision,
     samples_per_region: int,
     seed: int,
+    nn_backend: "str | None",
     rid: int,
 ) -> Roadmap:
     region = subdivision.region_of(rid)
     rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
-    planner = PRM(cspace, connect_same_component=False)
+    planner = PRM(
+        cspace,
+        connect_same_component=False,
+        nn_factory=get_nn_factory(nn_backend),
+    )
     within = _region_sample_box(cspace, region.sample_bounds)
     result = planner.build(
         samples_per_region, rng, within=within, id_base=rid << ID_SHIFT
@@ -372,12 +403,13 @@ def _rrt_region_task(
     root: np.ndarray,
     nodes_per_region: int,
     seed: int,
+    nn_backend: "str | None",
     rid: int,
 ) -> Roadmap:
     region = radial.region_of(rid)
     pos_dims = list(cspace.positional_dims)
     rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
-    planner = RRT(cspace)
+    planner = RRT(cspace, nn_factory=get_nn_factory(nn_backend))
     result = planner.grow(
         root,
         nodes_per_region,
@@ -408,7 +440,8 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
             _positional_bounds(cspace), wl.num_regions, overlap=0.2
         )
         task = partial(
-            _prm_region_task, cspace, subdivision, wl.samples_per_region, wl.seed
+            _prm_region_task, cspace, subdivision, wl.samples_per_region, wl.seed,
+            ex.nn_backend,
         )
         region_ids = subdivision.graph.region_ids()
     else:
@@ -428,7 +461,8 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
             rng=np.random.default_rng(wl.seed),
         )
         task = partial(
-            _rrt_region_task, cspace, radial, root, wl.nodes_per_region, wl.seed
+            _rrt_region_task, cspace, radial, root, wl.nodes_per_region, wl.seed,
+            ex.nn_backend,
         )
         region_ids = radial.graph.region_ids()
 

@@ -5,8 +5,11 @@ sequential-vs-batched roadmap construction, sequential-vs-batched RRT
 growth (plain med-cube growth and the radial-subdivision workload on a
 Fig. 10 environment), batched local planning, k-NN, amortised query
 serving (single and batched, plus k-NN backend scaling), pool scaling,
-and BVH-vs-brute-force collision scaling on procedural warehouse scenes
-(bit-exact verdict parity at 10^3-10^5 obstacles) —
+BVH-vs-brute-force collision scaling on procedural warehouse scenes
+(bit-exact verdict parity at 10^3-10^5 obstacles), and the incremental
+kd-ladder NN backend (growing query-then-insert streams across tree
+sizes, plus a full RRT build against the brute-force oracle with
+bit-exact edge/parent parity) —
 on fixed seeds, and writes the measurements to a JSON file
 (``BENCH_perf.json`` by default) so regressions show up as diffs.
 
@@ -41,6 +44,7 @@ from ..cspace.space import EuclideanCSpace
 from ..geometry import environments
 from ..kernels import get_backend
 from ..knn.brute import BruteForceNN
+from ..knn.incremental import IncrementalNN
 from ..knn.kdtree import KDTreeNN
 from ..planners.engine import QueryEngine
 from ..planners.prm import PRM
@@ -62,6 +66,7 @@ SCALES = {
         "kernel_knn_stored": 1000, "kernel_knn_queries": 64,
         "kernel_lp_pairs": 300, "kernel_prm_samples": 250, "kernel_prm_queries": 20,
         "bvh_sizes": [300, 2000], "bvh_prm_obstacles": 500, "bvh_prm_samples": 150,
+        "incnn_sizes": [500, 2000], "incnn_rrt_nodes": 300, "incnn_stream_points": 2000,
     },
     "medium": {
         "prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64,
@@ -72,6 +77,8 @@ SCALES = {
         "kernel_knn_stored": 4000, "kernel_knn_queries": 512,
         "kernel_lp_pairs": 3000, "kernel_prm_samples": 1200, "kernel_prm_queries": 60,
         "bvh_sizes": [1000, 10000, 100000], "bvh_prm_obstacles": 3000, "bvh_prm_samples": 500,
+        "incnn_sizes": [2000, 8000, 20000], "incnn_rrt_nodes": 20000,
+        "incnn_stream_points": 20000,
     },
 }
 
@@ -821,6 +828,153 @@ def bench_prm_build_bvh(params: dict) -> dict:
     }
 
 
+def _nn_stream(factory, pts: np.ndarray):
+    """The RRT inner-loop NN load with the planning stripped out: query
+    each point's single nearest neighbour against the tree so far, then
+    insert it — the exact query-then-insert interleaving ``RRT.grow``
+    produces.  Returns (answers, final KnnStats)."""
+    nn = factory(pts.shape[1])
+    nn.add(0, pts[0])
+    out = []
+    for i in range(1, len(pts)):
+        out.append(nn.knn(pts[i], 1))
+        nn.add(i, pts[i])
+    return out, nn.stats
+
+
+def bench_rrt_nn_scaling(params: dict) -> dict:
+    """Growing-tree nearest-neighbour streams: brute-force scan vs the
+    incremental kd-ladder (Bentley-Saxe logarithmic rebuild) across tree
+    sizes.
+
+    Answer parity is exact, not statistical: the ladder inherits the
+    canonical ``(distance, insertion order)`` tie-break, so the
+    neighbour streams must be identical element for element.  Each row
+    also records the distance-eval ledger — the brute scan's quadratic
+    count, the ladder's count, and the evals the work model no longer
+    charges — because virtual time, not wall time, is this repo's metric
+    of record."""
+    rows = {}
+    all_equal = True
+    for n in params["incnn_sizes"]:
+        rng = np.random.default_rng(_SEED)
+        pts = rng.uniform(-10.0, 10.0, size=(n, 3))
+        repeats = params["repeats"] if n < 20000 else min(params["repeats"], 2)
+        before_s, (ref, ref_stats) = _best_of(
+            repeats, lambda: _nn_stream(BruteForceNN, pts)
+        )
+        after_s, (fast, fast_stats) = _best_of(
+            repeats, lambda: _nn_stream(IncrementalNN, pts)
+        )
+        neighbors_equal = ref == fast
+        if not neighbors_equal:
+            raise AssertionError(
+                f"incremental NN stream diverged from brute force at n={n} "
+                "(the ladder contract is bit-exact, not approximate)"
+            )
+        all_equal = all_equal and neighbors_equal
+        rows[str(n)] = {
+            "n_points": n,
+            "before_s": before_s,
+            "after_s": after_s,
+            "speedup": before_s / after_s,
+            "neighbors_equal": neighbors_equal,
+            "nn_distance_evals_before": int(ref_stats.distance_evals),
+            "nn_distance_evals_after": int(fast_stats.distance_evals),
+            "evals_saved": int(fast_stats.evals_saved),
+            "rebuilds": int(fast_stats.rebuilds),
+            "buffer_hits": int(fast_stats.buffer_hits),
+        }
+    return {
+        "sizes": list(params["incnn_sizes"]),
+        "rows": rows,
+        "neighbors_equal": all_equal,
+        "_meta_extra": {"nn_backend": "incremental"},
+    }
+
+
+#: PlannerStats fields that legitimately differ between NN backends: the
+#: eval count is what the incremental ladder exists to shrink, and the
+#: maintenance counters are zero everywhere but the ladder.
+_NN_BACKEND_STATS = ("nn_distance_evals", "nn_rebuilds", "nn_buffer_hits", "nn_evals_saved")
+
+
+def bench_rrt_build_incnn(params: dict) -> dict:
+    """Batched RRT growth with the brute-force NN oracle vs the
+    ``incremental`` kd-ladder backend, plus the NN phase in isolation at
+    floor scale.
+
+    The build gate is the strongest parity surface in the suite: edges
+    (with exact float64 weights), parent pointers, collision counters,
+    and every ``PlannerStats`` field outside the NN-backend group must
+    be *identical* — the ladder answers every query bit-exactly, so
+    swapping it in may not move a single sample.  Full-build wall time
+    is recorded but roughly backend-neutral at this scale in pure
+    python; the win the work model sees is the eval reduction
+    (``nn_distance_evals`` before/after, recorded in the row meta).  The
+    ``nn_phase_*`` fields time the growing query-then-insert stream
+    alone at n>=20k, where the medium-scale ``--check`` floor applies."""
+    n = params["incnn_rrt_nodes"]
+    stream_n = params["incnn_stream_points"]
+
+    def build(factory):
+        """One timed batched RRT growth under the given NN factory."""
+        cs = _cspace()
+        rrt = RRT(cs, step_size=0.6, goal_bias=0.05, batched=True, nn_factory=factory)
+        res = rrt.grow(np.full(cs.dim, -9.0), n, np.random.default_rng(_SEED))
+        counters = (cs.env.counters.point_checks, cs.env.counters.segment_checks)
+        edges = sorted((min(u, v), max(u, v), w) for u, v, w in res.tree.edges())
+        return asdict(res.stats), counters, edges, dict(res.parents)
+
+    def core(stats_dict):
+        """Stats without the backend-dependent NN fields."""
+        return {k: v for k, v in stats_dict.items() if k not in _NN_BACKEND_STATS}
+
+    repeats = min(params["repeats"], 2)
+    before_s, ref = _best_of(repeats, lambda: build(BruteForceNN))
+    after_s, fast = _best_of(repeats, lambda: build(IncrementalNN))
+    edges_equal = ref[2] == fast[2]
+    parents_equal = ref[3] == fast[3]
+    counters_equal = ref[1] == fast[1]
+    stats_equal_core = core(ref[0]) == core(fast[0])
+    if not (edges_equal and parents_equal and counters_equal and stats_equal_core):
+        raise AssertionError(
+            "incremental-NN RRT build diverged from the brute-force oracle: "
+            f"edges_equal={edges_equal} parents_equal={parents_equal} "
+            f"counters_equal={counters_equal} stats_equal_core={stats_equal_core}"
+        )
+
+    rng = np.random.default_rng(_SEED)
+    pts = rng.uniform(-10.0, 10.0, size=(stream_n, 3))
+    nn_before_s, (sref, _) = _best_of(repeats, lambda: _nn_stream(BruteForceNN, pts))
+    nn_after_s, (sfast, _) = _best_of(repeats, lambda: _nn_stream(IncrementalNN, pts))
+    if sref != sfast:
+        raise AssertionError("incremental NN phase diverged from brute force")
+
+    return {
+        "n_nodes": n,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "edges_equal": edges_equal,
+        "parents_equal": parents_equal,
+        "counters_equal": counters_equal,
+        "stats_equal_core": stats_equal_core,
+        "nn_phase_points": stream_n,
+        "nn_phase_before_s": nn_before_s,
+        "nn_phase_after_s": nn_after_s,
+        "nn_phase_speedup": nn_before_s / nn_after_s,
+        "_meta_extra": {
+            "nn_backend": "incremental",
+            "nn_distance_evals_before": ref[0]["nn_distance_evals"],
+            "nn_distance_evals_after": fast[0]["nn_distance_evals"],
+            "nn_evals_saved": fast[0]["nn_evals_saved"],
+            "nn_rebuilds": fast[0]["nn_rebuilds"],
+            "nn_buffer_hits": fast[0]["nn_buffer_hits"],
+        },
+    }
+
+
 _BENCHMARKS = {
     "prm_build_default_path": bench_prm_build,
     "rrt_build_default_path": bench_rrt_build,
@@ -837,6 +991,8 @@ _BENCHMARKS = {
     "prm_build_fast32": bench_prm_build_fast32,
     "bvh_collision_scaling": bench_bvh_collision_scaling,
     "prm_build_bvh": bench_prm_build_bvh,
+    "rrt_nn_scaling": bench_rrt_nn_scaling,
+    "rrt_build_incnn": bench_rrt_build_incnn,
 }
 
 #: Keys every benchmark entry must carry for the file to be well-formed.
@@ -856,6 +1012,11 @@ _REQUIRED_FIELDS = {
     "prm_build_fast32": ("before_s", "after_s", "speedup", "success_equal", "lengths_close"),
     "bvh_collision_scaling": ("sizes", "rows", "verdicts_equal"),
     "prm_build_bvh": ("before_s", "after_s", "speedup", "stats_equal", "counters_equal", "edges_equal"),
+    "rrt_nn_scaling": ("sizes", "rows", "neighbors_equal"),
+    "rrt_build_incnn": (
+        "before_s", "after_s", "speedup", "edges_equal", "parents_equal",
+        "counters_equal", "stats_equal_core", "nn_phase_speedup",
+    ),
 }
 
 #: Parity flags that must not be false in a well-formed kernel row.
@@ -866,6 +1027,8 @@ _KERNEL_PARITY_FLAGS = {
     "prm_build_fast32": ("success_equal", "lengths_close"),
     "bvh_collision_scaling": ("verdicts_equal",),
     "prm_build_bvh": ("stats_equal", "counters_equal", "edges_equal"),
+    "rrt_nn_scaling": ("neighbors_equal",),
+    "rrt_build_incnn": ("edges_equal", "parents_equal", "counters_equal", "stats_equal_core"),
 }
 
 #: Medium-scale speedup floor for the fast32 microbenches: below this the
@@ -876,6 +1039,12 @@ _KERNEL_SPEEDUP_FLOOR = 1.8
 #: acceptance bar from the scaling work: a tree that can't beat the
 #: brute-force scan 5x at 10^4 primitives isn't pulling its weight.
 _BVH_SPEEDUP_FLOOR = 5.0
+
+#: Medium-scale floor for the incremental kd-ladder on the growing
+#: query-then-insert stream at 20k nodes: an insertion-friendly index
+#: that can't halve the brute scan's wall time there isn't earning its
+#: rebuild machinery.
+_INCNN_SPEEDUP_FLOOR = 2.0
 
 
 def run_suite(scale: str = "medium") -> dict:
@@ -890,10 +1059,13 @@ def run_suite(scale: str = "medium") -> dict:
         # Every row records the runtime it was measured under: the active
         # kernel backend (the fast side for kernel comparisons, the
         # reference default everywhere else) and the numpy/numba versions.
+        # Benchmarks can merge extra provenance (e.g. the NN backend and
+        # its distance-eval ledger) via the "_meta_extra" key.
         row["meta"] = {
             "kernel_backend": row.pop("_kernel_backend", "reference"),
             "numpy": np.__version__,
             "numba": _numba_version(),
+            **row.pop("_meta_extra", {}),
         }
         benchmarks[name] = row
         print(f"[perf] {name}: {time.perf_counter() - t0:.1f}s", file=sys.stderr)
@@ -973,6 +1145,22 @@ def validate(payload: object) -> "list[str]":
                 problems.append(
                     f"bvh_collision_scaling row {size!r} reports verdicts_equal=false"
                 )
+    nn_rows = benches.get("rrt_nn_scaling", {}).get("rows")
+    if isinstance(nn_rows, dict):
+        for size, row in nn_rows.items():
+            if not isinstance(row, dict):
+                problems.append(f"rrt_nn_scaling row {size!r} is not an object")
+                continue
+            for f in ("before_s", "after_s", "speedup"):
+                if not (isinstance(row.get(f), (int, float)) and row[f] > 0):
+                    problems.append(
+                        f"rrt_nn_scaling row {size!r} field {f!r} "
+                        "is not a positive number"
+                    )
+            if row.get("neighbors_equal") is False:
+                problems.append(
+                    f"rrt_nn_scaling row {size!r} reports neighbors_equal=false"
+                )
     if payload.get("scale") == "medium":
         for bench_name in ("kernel_collision", "kernel_knn"):
             sp = benches.get(bench_name, {}).get("speedup")
@@ -988,6 +1176,28 @@ def validate(payload: object) -> "list[str]":
             problems.append(
                 f"bvh_collision_scaling speedup {sp:.2f}x at 10k obstacles is "
                 f"below the {_BVH_SPEEDUP_FLOOR}x bvh floor"
+            )
+        sp = nn_rows.get("20000", {}).get("speedup") if isinstance(nn_rows, dict) else None
+        if not isinstance(sp, (int, float)):
+            problems.append("rrt_nn_scaling is missing the 20000-point row")
+        elif sp < _INCNN_SPEEDUP_FLOOR:
+            problems.append(
+                f"rrt_nn_scaling speedup {sp:.2f}x at 20k points is below "
+                f"the {_INCNN_SPEEDUP_FLOOR}x incremental-NN floor"
+            )
+        incnn = benches.get("rrt_build_incnn", {})
+        sp = incnn.get("nn_phase_speedup")
+        npts = incnn.get("nn_phase_points")
+        if not isinstance(sp, (int, float)):
+            problems.append("rrt_build_incnn is missing nn_phase_speedup")
+        elif not (isinstance(npts, int) and npts >= 20000):
+            problems.append(
+                "rrt_build_incnn nn_phase_points is below the 20k floor scale"
+            )
+        elif sp < _INCNN_SPEEDUP_FLOOR:
+            problems.append(
+                f"rrt_build_incnn NN-phase speedup {sp:.2f}x at n={npts} is "
+                f"below the {_INCNN_SPEEDUP_FLOOR}x incremental-NN floor"
             )
     # Serve rows are optional extras merged in by `python -m repro.bench
     # serve`; when present they must be well-formed and parity-clean.
@@ -1035,6 +1245,7 @@ def main(argv: "list[str]") -> int:
     qb = payload["benchmarks"]["query_batch"]
     kc = payload["benchmarks"]["kernel_collision"]
     kn = payload["benchmarks"]["kernel_knn"]
+    incnn = payload["benchmarks"]["rrt_build_incnn"]
     bvh_rows = payload["benchmarks"]["bvh_collision_scaling"]["rows"]
     bvh_scaling = ", ".join(
         f"{int(s)//1000}k: {bvh_rows[s]['speedup']:.1f}x"
@@ -1052,7 +1263,8 @@ def main(argv: "list[str]") -> int:
         f"({qb['n_queries']} queries on {qb['n_vertices']} vertices), "
         f"fast32 kernels {kc['speedup']:.2f}x collision / "
         f"{kn['speedup']:.2f}x knn, bvh collision ({bvh_scaling}), "
-        f"counts identical"
+        f"incremental nn phase {incnn['nn_phase_speedup']:.2f}x at "
+        f"n={incnn['nn_phase_points']}, counts identical"
     )
     return 0
 

@@ -20,14 +20,28 @@ __all__ = ["NeighborFinder", "KnnStats"]
 
 @dataclass
 class KnnStats:
-    """Counts of NN work, charged to virtual time by the runtime."""
+    """Counts of NN work, charged to virtual time by the runtime.
+
+    The structure-maintenance fields (``rebuilds``, ``buffer_hits``,
+    ``evals_saved``) stay zero for the flat backends; only
+    :class:`~repro.knn.incremental.IncrementalNN` maintains internal
+    structure worth counting.  ``evals_saved`` is the number of distance
+    evaluations a brute-force scan of the same stream would have spent
+    minus what the structure actually spent (never negative).
+    """
 
     queries: int = 0
     distance_evals: int = 0
+    rebuilds: int = 0
+    buffer_hits: int = 0
+    evals_saved: int = 0
 
     def reset(self) -> None:
         self.queries = 0
         self.distance_evals = 0
+        self.rebuilds = 0
+        self.buffer_hits = 0
+        self.evals_saved = 0
 
 
 class NeighborFinder(ABC):

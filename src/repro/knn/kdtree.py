@@ -148,6 +148,60 @@ class KDTreeNN(NeighborFinder):
         out = sorted((-nd, -nseq, pid) for nd, nseq, pid in heap)
         return [(pid, d) for d, _seq, pid in out]
 
+    def nn1(self, query: np.ndarray, bound: float = math.inf) -> "tuple[int, float]":
+        """The single nearest stored point as ``(id, distance)`` — the
+        same answer as ``knn(query, 1)[0]`` (canonical tie-break
+        included) with a flat scalar descent instead of the heap.
+
+        ``bound`` is an optional prune radius from the caller: subtrees
+        whose splitting plane is *strictly* farther than
+        ``min(bound, best so far)`` are skipped, so any point at distance
+        ``<= bound`` is still found exactly (ties at the bound survive
+        the strict comparison).  When every point is farther than
+        ``bound`` the returned pair is the nearest *visited* point — the
+        caller already holds a candidate at ``<= bound``, so the result
+        merges away.  Returns ``(-1, inf)`` on an empty tree.
+        """
+        if not self._pts:
+            return (-1, math.inf)
+        q = tuple(np.asarray(query, dtype=float).tolist())
+        self.stats.queries += 1
+        pts, ids_, axes = self._pts, self._ids, self._axis
+        left, right = self._left, self._right
+        best_d = math.inf
+        best_seq = -1
+        lim = bound
+        evals = 0
+        stack: "list[tuple[int, float]]" = [(0, -1.0)]
+        while stack:
+            node, plane = stack.pop()
+            if plane >= 0.0 and plane > lim:
+                continue
+            pt = pts[node]
+            evals += 1
+            s = 0.0
+            for a, b in zip(pt, q):
+                t = a - b
+                s += t * t
+            d = math.sqrt(s)
+            if d < best_d or (d == best_d and node < best_seq):
+                best_d = d
+                best_seq = node
+                if best_d < lim:
+                    lim = best_d
+            ax = axes[node]
+            delta = q[ax] - pt[ax]
+            if delta < 0.0:
+                near, far = left[node], right[node]
+            else:
+                near, far = right[node], left[node]
+            if far >= 0:
+                stack.append((far, -delta if delta < 0.0 else delta))
+            if near >= 0:
+                stack.append((near, -1.0))
+        self.stats.distance_evals += evals
+        return (ids_[best_seq], best_d)
+
     def radius(self, query: np.ndarray, r: float, exclude: int | None = None) -> "list[tuple[int, float]]":
         if not self._pts:
             return []

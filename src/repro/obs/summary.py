@@ -230,8 +230,15 @@ def _percentile_rows(by_pe: "dict[int, int]", totals: "dict[int, int]") -> "list
     return rows
 
 
-def format_summary(s: TraceSummary) -> str:
-    """Human-readable report: Fig. 7a phase table + Fig. 9 steal profile."""
+def format_summary(s: TraceSummary, planner_stats=None) -> str:
+    """Human-readable report: Fig. 7a phase table + Fig. 9 steal profile.
+
+    ``planner_stats``: optional merged :class:`~repro.planners.stats.
+    PlannerStats` across regions (the trace does not carry operation
+    counts — the caller supplies them, as ``PlanReport.summary`` does).
+    When given, a "Planner work" table is appended, with an evals-saved
+    line whenever an incremental NN backend did maintenance work.
+    """
     from ..bench.harness import format_table
 
     lines = [
@@ -244,6 +251,29 @@ def format_summary(s: TraceSummary) -> str:
     rows = [[p, f"{s.phases[p]:.2f}"] for p in known + extra]
     rows.append(["total", f"{s.total_phase_time:.2f}"])
     lines.append(format_table(["phase", "time"], rows))
+
+    if planner_stats is not None:
+        lines += [
+            "",
+            "Planner work",
+            format_table(
+                ["samples", "nn queries", "nn evals", "lp checks", "edges"],
+                [[
+                    planner_stats.sample_attempts,
+                    planner_stats.nn_queries,
+                    planner_stats.nn_distance_evals,
+                    planner_stats.lp_checks,
+                    planner_stats.edges_added,
+                ]],
+            ),
+        ]
+        if planner_stats.nn_evals_saved:
+            lines.append(
+                f"nn evals saved by the incremental index: "
+                f"{planner_stats.nn_evals_saved} "
+                f"({planner_stats.nn_rebuilds} rebuilds, "
+                f"{planner_stats.nn_buffer_hits} buffer hits)"
+            )
 
     lines += [
         "",

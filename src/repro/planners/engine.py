@@ -42,6 +42,7 @@ import numpy as np
 
 from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import ConfigurationSpace
+from ..knn import get_nn_factory
 from ..knn.brute import BruteForceNN
 from ..knn.kdtree import KDTreeNN
 from ..obs.events import EV_QUERY_END, EV_QUERY_START, PHASE_SERVE
@@ -192,6 +193,11 @@ class QueryEngine:
             # One flat distance matrix beats per-query tree descents until
             # the O(n) scan rows dominate; results are identical either way.
             nn_factory = BruteForceNN if n < _AUTO_KDTREE_MIN else KDTreeNN
+        elif isinstance(nn_factory, str):
+            # A repro.knn registry name ("brute" / "kdtree" /
+            # "incremental") — unknown names raise ValueError here, at
+            # construction, not on the first query.
+            nn_factory = get_nn_factory(nn_factory)
         self.nn_factory = nn_factory
         self._nn = self._make_nn(cspace.dim)
         if n:

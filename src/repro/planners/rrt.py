@@ -57,6 +57,7 @@ import numpy as np
 from ..cspace.local_planner import StraightLinePlanner
 from ..cspace.space import ConfigurationSpace
 from ..knn.brute import BruteForceNN
+from ..knn.incremental import IncrementalNN
 from .roadmap import Roadmap
 from .stats import PlannerStats
 
@@ -181,11 +182,13 @@ class RRT:
 
         max_iterations = max_iterations if max_iterations is not None else 20 * n_nodes
         # The batched path replays BruteForceNN's distance arithmetic and
-        # canonical tie-break inline; a custom nn_factory must go through
-        # the sequential loop so its finder is actually consulted.
+        # canonical tie-break inline, or drives a live IncrementalNN as
+        # the frozen-structure predictor; any other custom nn_factory
+        # must go through the sequential loop so its finder is actually
+        # consulted.
         if (
             self.batched
-            and self.nn_factory is BruteForceNN
+            and (self.nn_factory is BruteForceNN or self.nn_factory is IncrementalNN)
             and hasattr(self.local_planner, "batch_pairs_exact")
         ):
             return self._grow_batched(
@@ -266,6 +269,9 @@ class RRT:
             if goal is not None and float(self.cspace.distance(q_new, goal)) <= goal_tolerance:
                 goal_reached = vid
         stats.nn_distance_evals += nn.stats.distance_evals
+        stats.nn_rebuilds += nn.stats.rebuilds
+        stats.nn_buffer_hits += nn.stats.buffer_hits
+        stats.nn_evals_saved += nn.stats.evals_saved
         stats.samples_accepted += added
         return RRTResult(tree, parents, root_id, stats)
 
@@ -317,6 +323,28 @@ class RRT:
         store_ids = np.empty(cap, dtype=np.int64)
         store_ids[:n_store] = ids0
 
+        # Live-finder mode (IncrementalNN): the finder holds the frozen
+        # structure and answers one uncharged canonical query per sample
+        # per block (within-block acceptances are combined through the
+        # incremental blk minima below, so the finder is *not* re-probed
+        # every re-predict round); replay then issues one *charged* query
+        # per iteration at exactly the oracle's structure state, so every
+        # KnnStats-derived counter matches the sequential loop exactly.
+        live_nn = None
+        row_of: "dict[int, int]" = {}
+        if self.nn_factory is not BruteForceNN:
+            live_nn = self.nn_factory(dim)
+            live_nn.add_batch(ids0, cfgs0)
+            row_of = {int(v): r for r, v in enumerate(ids0.tolist())}
+
+        def nn_snap():
+            s = live_nn.stats
+            return (s.queries, s.distance_evals, s.rebuilds, s.buffer_hits, s.evals_saved)
+
+        def nn_restore(snap):
+            s = live_nn.stats
+            (s.queries, s.distance_evals, s.rebuilds, s.buffer_hits, s.evals_saved) = snap
+
         next_local = tree.num_vertices
         added = 0
         goal_reached: int | None = None
@@ -354,15 +382,31 @@ class RRT:
                     else:
                         samples[b] = cspace.sample(rng)
                         skey[b] = it - B + b  # globally unique per uniform draw
-            # -- 2. frozen-tree distances, one broadcast ------------------
+            # -- 2. frozen-tree distances -------------------------------
+            # Brute mode: one broadcast.  Live mode: one uncharged
+            # canonical finder query per sample (the finder resolves its
+            # own ties; charges are rolled back because the oracle only
+            # pays at replay time).
             n0 = n_store
-            D = np.empty((B, n0))
-            if n0:
+            if live_nn is not None:
+                frozen_vid = np.full(B, -1, dtype=np.int64)
+                frozen_min = np.full(B, np.inf)
+                snap0 = nn_snap()
+                for b in range(B):
+                    res = live_nn.knn(samples[b], 1)
+                    if res:
+                        frozen_vid[b] = res[0][0]
+                        frozen_min[b] = res[0][1]
+                nn_restore(snap0)
+                D = frozen_arg = frozen_tie = None
+            elif n0:
+                D = np.empty((B, n0))
                 BruteForceNN._dist_block(store[:n0], samples, D)
                 frozen_min = D.min(axis=1)
                 frozen_arg = D.argmin(axis=1)
                 frozen_tie = (D == frozen_min[:, None]).sum(axis=1) > 1
             else:
+                D = np.empty((B, 0))
                 frozen_min = np.full(B, np.inf)
                 frozen_arg = np.zeros(B, dtype=np.int64)
                 frozen_tie = np.zeros(B, dtype=bool)
@@ -384,6 +428,16 @@ class RRT:
                     return None
                 fmin = frozen_min[i]
                 bmin = blk_min[i]
+                if live_nn is not None:
+                    if bmin < fmin:
+                        # blk_arg holds the EARLIEST block column at
+                        # blk_min, so within-block ties are already
+                        # canonical; frozen-vs-block ties fall through
+                        # to the frozen side (strictly older slots).
+                        row = n0 + int(blk_arg[i])
+                        return (int(store_ids[row]), float(bmin), row)
+                    vid = int(frozen_vid[i])
+                    return (vid, float(fmin), row_of[vid])
                 if bmin < fmin:
                     if not blk_tie[i]:
                         row = n0 + int(blk_arg[i])
@@ -457,11 +511,25 @@ class RRT:
                         alive = False
                         break
                     stats.nn_queries += 1
-                    nr = nearest(i)
+                    if live_nn is not None:
+                        # The *charged* query, at exactly the structure
+                        # state the oracle would hold here.  Its answer
+                        # always equals the prediction combine: both are
+                        # the canonical minimum over the same point set
+                        # with bit-identical distances.
+                        snap = nn_snap()
+                        res = live_nn.knn(samples[i], 1)
+                        nr = (
+                            (int(res[0][0]), float(res[0][1]), -1)
+                            if res else None
+                        )
+                    else:
+                        nr = nearest(i)
                     if nr is None:
                         alive = False
                         break
-                    nn_evals += n0 + n_blk
+                    if live_nn is None:
+                        nn_evals += n0 + n_blk
                     vid_near, dist, _row = nr
                     if dist == 0.0:
                         done += 1
@@ -471,7 +539,10 @@ class RRT:
                         # An acceptance moved this sample's nearest node;
                         # pause and re-predict from the updated state.
                         stats.nn_queries -= 1
-                        nn_evals -= n0 + n_blk
+                        if live_nn is None:
+                            nn_evals -= n0 + n_blk
+                        else:
+                            nn_restore(snap)
                         break
                     done += 1
                     pt_ok, reg_ok, l_ok, l_checks, l_len, q_new = verdict
@@ -496,6 +567,9 @@ class RRT:
                         store_ids = np.concatenate((store_ids, np.empty_like(store_ids)))
                     store[n_store] = q_new
                     store_ids[n_store] = vid
+                    if live_nn is not None:
+                        live_nn.add(vid, q_new)
+                        row_of[vid] = n_store
                     # Incremental distance column: the new node vs every
                     # block sample — the same row-wise norm the reference
                     # finder computes (bit-identical to the frozen
@@ -525,6 +599,13 @@ class RRT:
             ds = counters.segment_checks - before.segment_checks
             counters.point_checks = before.point_checks + dp * seq_points // spec_points
             counters.segment_checks = before.segment_checks + ds * seq_points // spec_points
-        stats.nn_distance_evals += nn_evals
+        if live_nn is not None:
+            s = live_nn.stats
+            stats.nn_distance_evals += s.distance_evals
+            stats.nn_rebuilds += s.rebuilds
+            stats.nn_buffer_hits += s.buffer_hits
+            stats.nn_evals_saved += s.evals_saved
+        else:
+            stats.nn_distance_evals += nn_evals
         stats.samples_accepted += added
         return RRTResult(tree, parents, root_id, stats)

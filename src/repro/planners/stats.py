@@ -9,7 +9,7 @@ seconds by :class:`WorkModel`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["PlannerStats", "WorkModel"]
 
@@ -26,18 +26,18 @@ class PlannerStats:
     lp_checks: int = 0
     lp_successes: int = 0
     edges_added: int = 0
+    #: NN-structure maintenance (nonzero only with the ``incremental``
+    #: backend): rung merge-rebuilds, queries answered from the brute
+    #: buffer, and distance evaluations saved versus a flat scan.
+    nn_rebuilds: int = 0
+    nn_buffer_hits: int = 0
+    nn_evals_saved: int = 0
 
     def merge(self, other: "PlannerStats") -> "PlannerStats":
-        return PlannerStats(
-            self.sample_attempts + other.sample_attempts,
-            self.samples_accepted + other.samples_accepted,
-            self.nn_queries + other.nn_queries,
-            self.nn_distance_evals + other.nn_distance_evals,
-            self.lp_calls + other.lp_calls,
-            self.lp_checks + other.lp_checks,
-            self.lp_successes + other.lp_successes,
-            self.edges_added + other.edges_added,
-        )
+        return PlannerStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
 
     def __iadd__(self, other: "PlannerStats") -> "PlannerStats":
         merged = self.merge(other)

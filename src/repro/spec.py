@@ -192,6 +192,14 @@ class ExecutionPolicy:
     #: (bit-exact) unless explicitly changed, so the default is
     #: reference everywhere.
     kernel_backend: "str | None" = None
+    #: nearest-neighbour backend for the planners' growing structures (a
+    #: :mod:`repro.knn` registry name — ``"incremental"`` for the
+    #: logarithmic-rebuild kd-tree forest that makes large RRT builds
+    #: sublinear per query, ``"brute"`` / ``"kdtree"`` for the flat
+    #: backends).  All backends share the canonical (distance, insertion
+    #: order) tie-break, so the choice never changes planner output.
+    #: ``None`` keeps each planner's default (brute force).
+    nn_backend: "str | None" = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on any out-of-range or unknown field."""
@@ -211,11 +219,33 @@ class ExecutionPolicy:
             raise ValueError("chunksize must be >= 1")
         if self.kernel_backend is not None:
             from .kernels import available_backends
+            from .knn import available_nn_factories
 
             if self.kernel_backend not in available_backends():
+                hint = (
+                    " (this is an NN backend — did you mean nn_backend"
+                    f"={self.kernel_backend!r}?)"
+                    if self.kernel_backend in available_nn_factories()
+                    else ""
+                )
                 raise ValueError(
                     f"kernel_backend must be one of {available_backends()} "
-                    f"(or None), got {self.kernel_backend!r}"
+                    f"(or None), got {self.kernel_backend!r}{hint}"
+                )
+        if self.nn_backend is not None:
+            from .kernels import available_backends
+            from .knn import available_nn_factories
+
+            if self.nn_backend not in available_nn_factories():
+                hint = (
+                    " (this is a compute-kernel backend — did you mean "
+                    f"kernel_backend={self.nn_backend!r}?)"
+                    if self.nn_backend in available_backends()
+                    else ""
+                )
+                raise ValueError(
+                    f"nn_backend must be one of {available_nn_factories()} "
+                    f"(or None), got {self.nn_backend!r}{hint}"
                 )
 
 

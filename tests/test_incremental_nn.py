@@ -1,0 +1,322 @@
+"""Differential battery for the incremental kd-ladder NN backend.
+
+``IncrementalNN``'s contract is **bit-exact** equality with
+``BruteForceNN`` on every query — distances, ids, and ordering,
+canonical ``(distance, insertion order)`` tie-break included — under any
+interleaving of inserts and queries.  Every test here asserts ``==`` on
+the full answer lists, never a tolerance.
+
+``hypothesis`` drives the stream generator when installed; otherwise a
+seeded sweep covers the same shapes (same pattern as ``tests/test_bvh.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.knn import (
+    BruteForceNN,
+    GridNN,
+    IncrementalNN,
+    KDTreeNN,
+    available_nn_factories,
+    get_nn_factory,
+    register_nn_factory,
+)
+from repro.planners.rrt import RRT
+from repro.spec import ExecutionPolicy
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+
+def _check_stream(seed, dim, buffer_capacity, n_ops, tie_grid=None):
+    """Run one randomized insert/query stream through BruteForceNN and
+    IncrementalNN side by side and assert every answer identical.
+
+    ``tie_grid``: when set, coordinates are snapped to a lattice of that
+    pitch, manufacturing massive exact-distance ties and duplicates.
+    """
+    rng = np.random.default_rng(seed)
+    brute = BruteForceNN(dim)
+    inc = IncrementalNN(dim, buffer_capacity=buffer_capacity)
+    next_id = 0
+    for _ in range(n_ops):
+        p = rng.uniform(-3.0, 3.0, dim)
+        if tie_grid is not None:
+            p = np.round(p / tie_grid) * tie_grid
+        op = rng.integers(0, 4)
+        if op == 0 or next_id == 0:
+            brute.add(next_id, p)
+            inc.add(next_id, p)
+            next_id += 1
+        elif op == 1:
+            k = int(rng.integers(1, 6))
+            assert inc.knn(p, k) == brute.knn(p, k)
+        elif op == 2:
+            excl = int(rng.integers(0, next_id))
+            k = int(rng.integers(1, 4))
+            assert inc.knn(p, k, exclude=excl) == brute.knn(p, k, exclude=excl)
+        else:
+            r = float(rng.uniform(0.0, 2.5))
+            assert inc.radius(p, r) == brute.radius(p, r)
+    assert len(inc) == len(brute) == next_id
+
+
+class TestDifferentialStreams:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("dim", [2, 3, 6])
+    def test_interleaved_stream(self, seed, dim):
+        _check_stream(seed, dim, buffer_capacity=16, n_ops=120)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tie_storm_stream(self, seed):
+        """Lattice-snapped coordinates: duplicates and exact-distance ties
+        everywhere; the canonical tie-break must hold through rebuilds."""
+        _check_stream(seed, 2, buffer_capacity=4, n_ops=150, tie_grid=1.0)
+
+    @pytest.mark.parametrize("buf", [1, 2, 7, 64])
+    def test_buffer_capacity_sweep(self, buf):
+        """Degenerate buffers (1 forces a rebuild on nearly every insert)
+        through buffers large enough that no rebuild ever happens."""
+        _check_stream(99, 3, buffer_capacity=buf, n_ops=140)
+
+    def test_duplicate_ids_duplicate_points(self):
+        """Same external id inserted at several positions must surface
+        every copy, exactly as the brute scan does."""
+        brute, inc = BruteForceNN(2), IncrementalNN(2, buffer_capacity=2)
+        for nn in (brute, inc):
+            nn.add(7, np.array([0.0, 0.0]))
+            nn.add(7, np.array([1.0, 0.0]))
+            nn.add(3, np.array([0.0, 0.0]))
+            nn.add(7, np.array([0.0, 1.0]))
+        for k in (1, 2, 4):
+            assert inc.knn(np.zeros(2), k) == brute.knn(np.zeros(2), k)
+        assert inc.radius(np.zeros(2), 1.5) == brute.radius(np.zeros(2), 1.5)
+        assert inc.knn(np.zeros(2), 4, exclude=7) == brute.knn(np.zeros(2), 4, exclude=7)
+
+    if HAVE_HYPOTHESIS:
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            seed=st.integers(0, 2**31 - 1),
+            dim=st.integers(2, 5),
+            buf=st.integers(1, 32),
+        )
+        def test_stream_property(self, seed, dim, buf):
+            _check_stream(seed, dim, buffer_capacity=buf, n_ops=90)
+
+
+class TestLadderStructure:
+    def test_rung_boundary_sizes(self):
+        """Sizes 2^i - 1, 2^i, 2^i + 1 around every rung boundary: the
+        off-by-one cases where merge-rebuild bookkeeping breaks first."""
+        sizes = []
+        for i in range(1, 7):
+            sizes.extend([2**i - 1, 2**i, 2**i + 1])
+        rng = np.random.default_rng(0)
+        for n in sizes:
+            pts = rng.uniform(-5.0, 5.0, size=(n, 3))
+            brute, inc = BruteForceNN(3), IncrementalNN(3, buffer_capacity=1)
+            for i in range(n):
+                brute.add(i, pts[i])
+                inc.add(i, pts[i])
+            assert sum(inc.rung_sizes()) + inc.buffer_size == n
+            q = rng.uniform(-5.0, 5.0, 3)
+            assert inc.knn(q, min(5, n)) == brute.knn(q, min(5, n))
+
+    def test_buffer_flush_and_rebuild_counters(self):
+        rng = np.random.default_rng(1)
+        inc = IncrementalNN(3, buffer_capacity=8)
+        for i in range(64):
+            inc.add(i, rng.uniform(-1.0, 1.0, 3))
+        assert inc.buffer_size < 8
+        assert inc.stats.rebuilds > 0
+        assert sum(inc.rung_sizes()) + inc.buffer_size == 64
+
+    def test_add_batch_matches_loop(self, rng):
+        pts = rng.uniform(-2.0, 2.0, size=(50, 3))
+        a = IncrementalNN(3, buffer_capacity=4)
+        a.add_batch(np.arange(50), pts)
+        b = IncrementalNN(3, buffer_capacity=4)
+        for i in range(50):
+            b.add(i, pts[i])
+        q = rng.uniform(-2.0, 2.0, 3)
+        assert a.knn(q, 7) == b.knn(q, 7)
+
+    def test_eval_ledger_accounts_for_brute_work(self):
+        """On the k=1 growing stream the ladder's ledger must balance:
+        evals actually spent + evals saved == what the brute scan spends."""
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-5.0, 5.0, size=(400, 3))
+        brute, inc = BruteForceNN(3), IncrementalNN(3)
+        for i in range(400):
+            if i:
+                assert inc.knn(pts[i], 1) == brute.knn(pts[i], 1)
+            brute.add(i, pts[i])
+            inc.add(i, pts[i])
+        assert (
+            inc.stats.distance_evals + inc.stats.evals_saved
+            == brute.stats.distance_evals
+        )
+        assert inc.stats.queries == brute.stats.queries == 399
+        assert inc.stats.evals_saved > 0
+
+
+class TestRRTParity:
+    """Swapping the NN backend may not move a single RRT sample: growth
+    under IncrementalNN must be bit-identical to the brute-force oracle,
+    sequential and batched alike, with full stats parity between the two
+    incremental modes."""
+
+    _NN_FIELDS = ("nn_distance_evals", "nn_rebuilds", "nn_buffer_hits", "nn_evals_saved")
+
+    def _grow(self, nn_factory, batched, goal=None):
+        from repro.cspace import EuclideanCSpace
+        from repro.geometry import environments
+
+        cs = EuclideanCSpace(environments.by_name("med-cube"))
+        rrt = RRT(
+            cs, step_size=0.6, goal_bias=0.05, batched=batched, nn_factory=nn_factory
+        )
+        res = rrt.grow(
+            np.full(cs.dim, -9.0), 250, np.random.default_rng(7), goal=goal
+        )
+        from dataclasses import asdict
+
+        edges = sorted((min(u, v), max(u, v), w) for u, v, w in res.tree.edges())
+        return asdict(res.stats), edges, dict(res.parents), res
+
+    @pytest.mark.parametrize("goal", [None, np.array([8.0, 8.0, 8.0])])
+    def test_three_way_parity(self, goal):
+        b_stats, b_edges, b_parents, _ = self._grow(BruteForceNN, True, goal)
+        s_stats, s_edges, s_parents, _ = self._grow(IncrementalNN, False, goal)
+        i_stats, i_edges, i_parents, _ = self._grow(IncrementalNN, True, goal)
+        assert b_edges == s_edges == i_edges
+        assert b_parents == s_parents == i_parents
+        # incremental sequential and batched agree on every stat field,
+        # ladder maintenance counters included
+        assert s_stats == i_stats
+        # and match the brute oracle outside the backend-dependent group
+        strip = lambda d: {k: v for k, v in d.items() if k not in self._NN_FIELDS}
+        assert strip(b_stats) == strip(i_stats)
+        assert i_stats["nn_distance_evals"] < b_stats["nn_distance_evals"]
+        assert i_stats["nn_evals_saved"] > 0
+
+    def test_grow_accepts_factory_string_via_policy(self):
+        """End-to-end: selecting the backend through ExecutionPolicy's
+        registry name produces the same tree as passing the class."""
+        _, ref_edges, ref_parents, _ = self._grow(IncrementalNN, True)
+        _, got_edges, got_parents, _ = self._grow(get_nn_factory("incremental"), True)
+        assert got_edges == ref_edges
+        assert got_parents == ref_parents
+
+
+class TestRegistry:
+    def test_builtin_factories_registered(self):
+        names = available_nn_factories()
+        assert {"brute", "kdtree", "incremental"} <= set(names)
+        assert list(names) == sorted(names)
+
+    def test_get_factory_resolution(self):
+        assert get_nn_factory(None) is None
+        assert get_nn_factory(BruteForceNN) is BruteForceNN  # callable passthrough
+        assert get_nn_factory("brute") is BruteForceNN
+        assert get_nn_factory("kdtree") is KDTreeNN
+        assert get_nn_factory("incremental") is IncrementalNN
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="incremental"):
+            get_nn_factory("octree")
+
+    def test_reregistration_replaces(self):
+        """Same contract as the kernel registry: re-registering a name
+        replaces the factory (user override), it doesn't raise."""
+        orig = get_nn_factory("brute")
+        try:
+            register_nn_factory("brute", KDTreeNN)
+            assert get_nn_factory("brute") is KDTreeNN
+        finally:
+            register_nn_factory("brute", orig)
+        assert get_nn_factory("brute") is orig
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_nn_factory("", BruteForceNN)
+
+    def test_grid_not_registered(self):
+        """GridNN needs a geometry-dependent cell_size, so it has no
+        parameter-free registry entry."""
+        assert "grid" not in available_nn_factories()
+        assert GridNN(2, cell_size=0.5) is not None  # still importable
+
+
+class TestPolicyAndEngineErrors:
+    def test_policy_accepts_registered_backends(self):
+        for name in available_nn_factories():
+            ExecutionPolicy(nn_backend=name).validate()
+        ExecutionPolicy().validate()  # None stays valid
+
+    def test_policy_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="nn_backend"):
+            ExecutionPolicy(nn_backend="octree").validate()
+
+    def test_kernel_name_in_nn_slot_gets_crossover_hint(self):
+        with pytest.raises(ValueError, match="kernel_backend='fast32'"):
+            ExecutionPolicy(nn_backend="fast32").validate()
+
+    def test_nn_name_in_kernel_slot_gets_crossover_hint(self):
+        with pytest.raises(ValueError, match="nn_backend='incremental'"):
+            ExecutionPolicy(kernel_backend="incremental").validate()
+
+    def test_query_engine_accepts_factory_name(self):
+        from repro.cspace import EuclideanCSpace
+        from repro.geometry import AABB, Environment
+        from repro.planners import PRM, QueryEngine
+
+        cs = EuclideanCSpace(Environment(AABB([-5.0, -5.0], [5.0, 5.0])))
+        rmap = PRM(cs, k=4).build(60, np.random.default_rng(0)).roadmap
+        ref = QueryEngine(cs, rmap, k=6, nn_factory=KDTreeNN)
+        named = QueryEngine(cs, rmap, k=6, nn_factory="kdtree")
+        s, g = np.array([-4.0, -4.0]), np.array([4.0, 4.0])
+        a, b = ref.solve(s, g), named.solve(s, g)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.path_vertices == b.path_vertices
+
+    def test_query_engine_unknown_name_raises_at_construction(self):
+        from repro.cspace import EuclideanCSpace
+        from repro.geometry import AABB, Environment
+        from repro.planners import PRM, QueryEngine
+
+        cs = EuclideanCSpace(Environment(AABB([-5.0, -5.0], [5.0, 5.0])))
+        rmap = PRM(cs, k=4).build(30, np.random.default_rng(0)).roadmap
+        with pytest.raises(ValueError, match="nn"):
+            QueryEngine(cs, rmap, nn_factory="octree")
+
+
+class TestEndToEndPlan:
+    def test_plan_simulate_identical_to_default(self):
+        """The incremental backend threaded through plan() may not change
+        a single vertex or edge of the simulated build."""
+        from repro import PlanRequest, plan
+        from repro.spec import WorkloadSpec
+
+        wl = WorkloadSpec(num_regions=6, samples_per_region=6, environment="mixed")
+        ref = plan(PlanRequest(workload=wl, execution=ExecutionPolicy(num_pes=2)))
+        inc = plan(
+            PlanRequest(
+                workload=wl,
+                execution=ExecutionPolicy(num_pes=2, nn_backend="incremental"),
+            )
+        )
+        assert inc.roadmap.num_vertices == ref.roadmap.num_vertices
+        assert sorted(inc.roadmap.edges()) == sorted(ref.roadmap.edges())
+        ids_i, cfg_i = inc.roadmap.configs_array()
+        ids_r, cfg_r = ref.roadmap.configs_array()
+        np.testing.assert_array_equal(ids_i, ids_r)
+        np.testing.assert_array_equal(cfg_i, cfg_r)

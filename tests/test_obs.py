@@ -335,3 +335,30 @@ class TestSummarize:
         text = format_summary(summarize_events(self._golden_events()))
         assert "construct" in text
         assert "Fig. 7a" in text and "Fig. 9" in text
+
+    def test_format_summary_planner_stats_table(self):
+        from repro.planners.stats import PlannerStats
+
+        s = summarize_events(self._golden_events())
+        assert "Planner work" not in format_summary(s)
+
+        stats = PlannerStats(sample_attempts=100, nn_queries=90,
+                             nn_distance_evals=4_000, lp_checks=80,
+                             edges_added=70)
+        text = format_summary(s, planner_stats=stats)
+        assert "Planner work" in text
+        assert "4000" in text
+        # No incremental index in play -> no evals-saved line.
+        assert "evals saved" not in text
+
+    def test_format_summary_evals_saved_line(self):
+        from repro.planners.stats import PlannerStats
+
+        s = summarize_events(self._golden_events())
+        stats = PlannerStats(sample_attempts=100, nn_queries=90,
+                             nn_distance_evals=4_000, lp_checks=80,
+                             edges_added=70, nn_evals_saved=120_000,
+                             nn_rebuilds=7, nn_buffer_hits=40)
+        text = format_summary(s, planner_stats=stats)
+        assert ("nn evals saved by the incremental index: 120000 "
+                "(7 rebuilds, 40 buffer hits)") in text

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Keep the docs subsystem in sync with the code.
+
+Two checks, both cheap enough for every push (CI ``docs-check`` job):
+
+1. **Module-map coverage** — every top-level module or package under
+   ``src/repro/`` must appear as ``repro.<name>`` in the module map of
+   ``docs/index.md``.  Adding a subsystem without documenting it fails
+   the build; so does documenting a module that no longer exists.
+
+2. **Snippet syntax** — every fenced ``python`` code block in
+   ``docs/*.md`` and ``README.md`` must at least ``compile()``.  The
+   snippets are illustrative (they may reference names without
+   importing them), so they are not executed — but a snippet that is
+   not valid Python is always a documentation bug.
+
+Exits non-zero with one line per problem.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+DOCS = REPO / "docs"
+INDEX = DOCS / "index.md"
+
+_FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.M | re.S)
+_MODULE_REF = re.compile(r"`repro\.([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def repo_modules() -> set[str]:
+    """Top-level modules/packages of ``repro`` (filesystem truth)."""
+    names = set()
+    for entry in SRC.iterdir():
+        if entry.name.startswith(("_", ".")):
+            continue
+        if entry.is_dir() and (entry / "__init__.py").exists():
+            names.add(entry.name)
+        elif entry.suffix == ".py":
+            names.add(entry.stem)
+    return names
+
+
+def mapped_modules(index_text: str) -> set[str]:
+    """``repro.<name>`` entries in docs/index.md's module-map table."""
+    in_map = False
+    names = set()
+    for line in index_text.splitlines():
+        if line.lstrip().startswith("## "):
+            in_map = line.strip().lower() == "## module map"
+            continue
+        if in_map and line.lstrip().startswith("|"):
+            names.update(_MODULE_REF.findall(line.split("|")[1]))
+    return names
+
+
+def check_module_map(problems: list[str]) -> None:
+    if not INDEX.exists():
+        problems.append(f"{INDEX.relative_to(REPO)}: missing")
+        return
+    actual = repo_modules()
+    mapped = mapped_modules(INDEX.read_text())
+    for name in sorted(actual - mapped):
+        problems.append(
+            f"docs/index.md: module map is missing `repro.{name}` "
+            f"(src/repro/{name} exists)")
+    for name in sorted(mapped - actual):
+        problems.append(
+            f"docs/index.md: module map lists `repro.{name}` "
+            f"but src/repro/{name} does not exist")
+
+
+def check_snippets(problems: list[str]) -> None:
+    pages = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    for page in pages:
+        text = page.read_text()
+        for i, match in enumerate(_FENCE.finditer(text), start=1):
+            snippet = match.group(1)
+            line = text[: match.start()].count("\n") + 2
+            try:
+                compile(snippet, f"{page.name}:snippet{i}", "exec")
+            except SyntaxError as exc:
+                problems.append(
+                    f"{page.relative_to(REPO)}:{line}: python snippet "
+                    f"#{i} does not compile: {exc.msg} "
+                    f"(snippet line {exc.lineno})")
+
+
+def main() -> int:
+    problems: list[str] = []
+    check_module_map(problems)
+    check_snippets(problems)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    n_pages = len(list(DOCS.glob("*.md"))) + 1
+    print(f"check_docs: module map covers all {len(repo_modules())} "
+          f"modules; snippets across {n_pages} pages compile")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
