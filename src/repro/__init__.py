@@ -69,7 +69,7 @@ from .obs import (
 from .runtime import Fault, FaultInjector, TaskFailedError
 from .service import PlanService, RoadmapCache, ServiceConfig
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

@@ -38,6 +38,8 @@ wall-clock numbers.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING
@@ -60,7 +62,9 @@ from .core.parallel_rrt import (
     build_rrt_workload,
     simulate_rrt,
 )
-from .cspace.space import ConfigurationSpace
+from .cspace.space import ConfigurationSpace, EuclideanCSpace
+from .geometry.environment import Environment
+from .geometry.primitives import AABB
 from .knn import get_nn_factory
 from .obs.summary import TraceSummary, format_summary, summarize_events
 from .obs.tracer import active
@@ -68,6 +72,8 @@ from .planners.engine import BatchQueryResult, QueryEngine
 from .planners.prm import PRM
 from .planners.roadmap import Roadmap
 from .planners.rrt import RRT
+from .planners.stats import PlannerStats
+from .runtime import shm as _shm
 from .runtime.local_pool import PoolResult, run_tasks_parallel
 from .spec import ExecutionPolicy, FaultPolicy, ObsConfig, PlanRequest, WorkloadSpec
 from .subdivision.radial import RadialSubdivision
@@ -101,6 +107,11 @@ class PlanReport:
     pool: "PoolResult | None"
     #: merged roadmap / tree across regions.
     roadmap: Roadmap
+    #: merged per-region operation counts (local mode; None for simulate,
+    #: where the counts live on the workload's region ledger).
+    local_stats: "PlannerStats | None" = None
+    #: ``(point_checks, segment_checks)`` summed across local tasks.
+    local_counters: "tuple[int, int] | None" = None
 
     @property
     def phases(self):
@@ -219,13 +230,16 @@ class PlanReport:
         return summarize_events(tr.memory.events)
 
     @property
-    def planner_stats(self):
-        """Merged per-region operation counts (simulate mode; None for
-        local execution, where the counts stay with the pool tasks)."""
-        if self.workload is None:
-            return None
-        from .planners.stats import PlannerStats
+    def dispatch(self):
+        """Dispatch accounting (chunking, bytes shipped, shm traffic) of
+        the local pool run; None in simulate mode."""
+        return self.pool.dispatch if self.pool is not None else None
 
+    @property
+    def planner_stats(self):
+        """Merged per-region operation counts, either execution mode."""
+        if self.workload is None:
+            return self.local_stats
         work = getattr(self.workload, "region_work", None)
         if work is None:
             work = self.workload.branch_work
@@ -373,7 +387,15 @@ def _default_root(cspace: ConfigurationSpace, seed: int) -> np.ndarray:
 # Local (true-parallel) execution
 # ---------------------------------------------------------------------------
 # Module-level tasks bound with functools.partial so the "process" backend
-# can pickle them; the default "thread" backend works either way.
+# can pickle them; the default "thread" backend works either way.  Each task
+# returns ``(roadmap, stats, (point_checks, segment_checks))`` so operation
+# counts survive the hop back from worker processes, where the parent's
+# environment counters never tick.
+
+def _counters_of(cspace: ConfigurationSpace):
+    env = getattr(cspace, "env", None)
+    return getattr(env, "counters", None)
+
 
 def _prm_region_task(
     cspace: ConfigurationSpace,
@@ -382,7 +404,7 @@ def _prm_region_task(
     seed: int,
     nn_backend: "str | None",
     rid: int,
-) -> Roadmap:
+) -> "tuple[Roadmap, PlannerStats, tuple[int, int]]":
     region = subdivision.region_of(rid)
     rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
     planner = PRM(
@@ -391,10 +413,14 @@ def _prm_region_task(
         nn_factory=get_nn_factory(nn_backend),
     )
     within = _region_sample_box(cspace, region.sample_bounds)
+    counters = _counters_of(cspace)
+    before = counters.snapshot() if counters is not None else None
     result = planner.build(
         samples_per_region, rng, within=within, id_base=rid << ID_SHIFT
     )
-    return result.roadmap
+    delta = counters.delta(before) if counters is not None else None
+    checks = (delta.point_checks, delta.segment_checks) if delta is not None else (0, 0)
+    return result.roadmap, result.stats, checks
 
 
 def _rrt_region_task(
@@ -405,11 +431,13 @@ def _rrt_region_task(
     seed: int,
     nn_backend: "str | None",
     rid: int,
-) -> Roadmap:
+) -> "tuple[Roadmap, PlannerStats, tuple[int, int]]":
     region = radial.region_of(rid)
     pos_dims = list(cspace.positional_dims)
     rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(rid,)))
     planner = RRT(cspace, nn_factory=get_nn_factory(nn_backend))
+    counters = _counters_of(cspace)
+    before = counters.snapshot() if counters is not None else None
     result = planner.grow(
         root,
         nodes_per_region,
@@ -424,7 +452,155 @@ def _rrt_region_task(
             np.atleast_2d(np.asarray(qs))[:, dims]
         ),
     )
-    return result.tree
+    delta = counters.delta(before) if counters is not None else None
+    checks = (delta.point_checks, delta.segment_checks) if delta is not None else (0, 0)
+    return result.tree, result.stats, checks
+
+
+def _rrt_decomposition(
+    cspace: ConfigurationSpace, seed: int, num_regions: int
+) -> "tuple[np.ndarray, RadialSubdivision]":
+    """The deterministic (root, radial subdivision) pair for an RRT plan.
+
+    Shared between the dispatching parent and shm-plane workers, which
+    rebuild the decomposition locally instead of shipping it.
+    """
+    root = _default_root(cspace, seed)
+    pos_dims = list(cspace.positional_dims)
+    root_pos = root[pos_dims]
+    radius = float(
+        min(
+            np.min(root_pos - cspace.bounds.lo[pos_dims]),
+            np.min(cspace.bounds.hi[pos_dims] - root_pos),
+        )
+    )
+    radial = RadialSubdivision(
+        root_pos,
+        radius,
+        num_regions,
+        rng=np.random.default_rng(seed),
+    )
+    return root, radial
+
+
+# --- data planes -----------------------------------------------------------
+# Three ways to get the heavy planning context (environment + subdivision)
+# to pool workers.  "inline" ships the closure with every chunk (the
+# historical behaviour — cheap under fork's copy-on-write, expensive under
+# spawn).  "pickle" serialises the closure once and caches the decode per
+# worker.  "shm" publishes the environment's obstacle arrays as a shared
+# memory segment; workers map it zero-copy and rebuild the (deterministic)
+# subdivision locally, so per-chunk traffic is a few hundred bytes however
+# large the scene is.  Results are bit-identical across all three.
+
+@dataclass(frozen=True)
+class _ShmPlanContext:
+    """Everything a worker needs to rebuild the planning closure from shm."""
+
+    manifest: _shm.SharedArrayManifest
+    env_name: str
+    kernel_backend: str
+    robot_radius: float
+    planner: str
+    num_regions: int
+    per_region: int
+    seed: int
+    nn_backend: "str | None"
+
+
+#: one rebuilt closure per worker process, keyed by the full context.
+_SHM_TASK_CACHE: "dict[_ShmPlanContext, object]" = {}
+#: one decoded closure per worker process, keyed by blob digest.
+_PICKLE_TASK_CACHE: "dict[str, object]" = {}
+
+
+def _rebind_task(cspace: ConfigurationSpace, ctx: _ShmPlanContext):
+    if ctx.planner == "prm":
+        subdivision = UniformSubdivision(
+            _positional_bounds(cspace), ctx.num_regions, overlap=0.2
+        )
+        return partial(
+            _prm_region_task, cspace, subdivision, ctx.per_region, ctx.seed,
+            ctx.nn_backend,
+        )
+    root, radial = _rrt_decomposition(cspace, ctx.seed, ctx.num_regions)
+    return partial(
+        _rrt_region_task, cspace, radial, root, ctx.per_region, ctx.seed,
+        ctx.nn_backend,
+    )
+
+
+def _shm_region_task(ctx: _ShmPlanContext, rid: int):
+    task = _SHM_TASK_CACHE.get(ctx)
+    if task is None:
+        arrays = _shm.attach_arrays(ctx.manifest)
+        env = Environment.from_arrays(
+            AABB(arrays["bounds_lo"], arrays["bounds_hi"]),
+            arrays["obs_lo"],
+            arrays["obs_hi"],
+            name=ctx.env_name,
+            kernel_backend=ctx.kernel_backend,
+        )
+        cs = EuclideanCSpace(env, robot_radius=ctx.robot_radius)
+        task = _rebind_task(cs, ctx)
+        _SHM_TASK_CACHE.clear()
+        _SHM_TASK_CACHE[ctx] = task
+    return task(rid)
+
+
+def _pickled_region_task(digest: str, blob: bytes, rid: int):
+    task = _PICKLE_TASK_CACHE.get(digest)
+    if task is None:
+        task = pickle.loads(blob)
+        _PICKLE_TASK_CACHE.clear()
+        _PICKLE_TASK_CACHE[digest] = task
+    return task(rid)
+
+
+def _shm_plan_eligible(cspace: ConfigurationSpace) -> bool:
+    """Whether this plan's context can round-trip through the shm plane."""
+    return (
+        type(cspace) is EuclideanCSpace
+        and getattr(cspace.env, "_kernel_backend_name", None) is not None
+        and _shm.shm_available()
+    )
+
+
+def _resolve_data_plane(ex: ExecutionPolicy, cspace: ConfigurationSpace) -> str:
+    plane = ex.data_plane
+    if plane == "auto":
+        if ex.backend == "process" and _shm_plan_eligible(cspace):
+            return "shm"
+        return "inline"
+    if plane == "shm" and not _shm_plan_eligible(cspace):
+        raise ValueError(
+            "data_plane='shm' needs a EuclideanCSpace over a registry-named "
+            "kernel backend, with POSIX shared memory available"
+        )
+    return plane
+
+
+def _region_weights(
+    cspace: ConfigurationSpace,
+    subdivision: "UniformSubdivision | None",
+    region_ids,
+) -> "dict[int, float] | None":
+    """Predicted relative cost per region for the "weighted" chunk policy:
+    1 + the number of obstacles overlapping the region's sample box."""
+    env = getattr(cspace, "env", None)
+    lo = getattr(env, "_obs_lo", None)
+    if subdivision is None or lo is None or lo.shape[0] == 0:
+        return None
+    hi = env._obs_hi
+    weights = {}
+    for rid in region_ids:
+        box = subdivision.region_of(rid).sample_bounds
+        blo, bhi = np.asarray(box.lo), np.asarray(box.hi)
+        if blo.shape[0] != lo.shape[1]:
+            return None
+        overlap = np.all((lo <= bhi) & (hi >= blo), axis=1)
+        weights[rid] = 1.0 + float(np.count_nonzero(overlap))
+    return weights
 
 
 def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
@@ -435,6 +611,7 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
     are the unit of work exactly as on the simulated machine.
     """
     wl, ex, fa, ob = request.workload, request.execution, request.faults, request.obs
+    subdivision = None
     if wl.planner == "prm":
         subdivision = UniformSubdivision(
             _positional_bounds(cspace), wl.num_regions, overlap=0.2
@@ -444,43 +621,98 @@ def _plan_local(request: PlanRequest, cspace: ConfigurationSpace) -> PlanReport:
             ex.nn_backend,
         )
         region_ids = subdivision.graph.region_ids()
+        per_region = wl.samples_per_region
     else:
-        root = _default_root(cspace, wl.seed)
-        pos_dims = list(cspace.positional_dims)
-        root_pos = root[pos_dims]
-        radius = float(
-            min(
-                np.min(root_pos - cspace.bounds.lo[pos_dims]),
-                np.min(cspace.bounds.hi[pos_dims] - root_pos),
-            )
-        )
-        radial = RadialSubdivision(
-            root_pos,
-            radius,
-            wl.num_regions,
-            rng=np.random.default_rng(wl.seed),
-        )
+        root, radial = _rrt_decomposition(cspace, wl.seed, wl.num_regions)
         task = partial(
             _rrt_region_task, cspace, radial, root, wl.nodes_per_region, wl.seed,
             ex.nn_backend,
         )
         region_ids = radial.graph.region_ids()
+        per_region = wl.nodes_per_region
 
-    pool = run_tasks_parallel(
-        task,
-        region_ids,
-        workers=ex.workers,
-        backend=ex.backend,
-        chunksize=ex.chunksize,
-        tracer=ob.tracer,
-        **fa.pool_kwargs(retry_seed=wl.seed),
+    task_weights = None
+    if ex.chunksize == "weighted":
+        task_weights = _region_weights(cspace, subdivision, region_ids)
+
+    plane = _resolve_data_plane(ex, cspace)
+    manifest = None
+    parent_counters = _counters_of(cspace)
+    counters_before = (
+        parent_counters.snapshot() if parent_counters is not None else None
     )
+    try:
+        if plane == "shm":
+            env = cspace.env
+            manifest = _shm.publish_arrays(
+                {
+                    "bounds_lo": env.bounds.lo,
+                    "bounds_hi": env.bounds.hi,
+                    "obs_lo": env._obs_lo,
+                    "obs_hi": env._obs_hi,
+                },
+                label="environment",
+                tracer=ob.tracer,
+            )
+            ctx = _ShmPlanContext(
+                manifest=manifest,
+                env_name=env.name,
+                kernel_backend=env._kernel_backend_name,
+                robot_radius=float(cspace.robot_radius),
+                planner=wl.planner,
+                num_regions=wl.num_regions,
+                per_region=per_region,
+                seed=wl.seed,
+                nn_backend=ex.nn_backend,
+            )
+            task = partial(_shm_region_task, ctx)
+        elif plane == "pickle":
+            blob = pickle.dumps(task)
+            task = partial(
+                _pickled_region_task, hashlib.sha256(blob).hexdigest(), blob
+            )
+
+        pool = run_tasks_parallel(
+            task,
+            region_ids,
+            workers=ex.workers,
+            backend=ex.backend,
+            chunksize=ex.chunksize,
+            tracer=ob.tracer,
+            task_weights=task_weights,
+            measure_serde=(ex.backend == "process"),
+            **fa.pool_kwargs(retry_seed=wl.seed),
+        )
+    finally:
+        if manifest is not None:
+            _shm.release(manifest)
+    if manifest is not None:
+        pool.dispatch.shm_segments += 1 if manifest.segment else 0
+        pool.dispatch.shm_bytes += manifest.total_bytes
     # Under "degrade" abandoned regions are simply absent from the merge:
     # regional roadmaps are independent subproblems, so the survivors
     # stitch into a valid (if sparser) roadmap.
     merged = Roadmap(cspace.dim)
+    stats = PlannerStats()
+    point_checks = segment_checks = 0
     for rid in sorted(pool.results):
-        merged.merge(pool.results[rid])
+        roadmap, task_stats, (pc, sc) = pool.results[rid]
+        merged.merge(roadmap)
+        stats += task_stats
+        point_checks += pc
+        segment_checks += sc
+    if ex.backend == "thread" and plane == "inline" and parent_counters is not None:
+        # Thread workers share the parent environment's counters, so the
+        # per-task window deltas double-count concurrent increments; the
+        # parent-side delta over the whole pool run is the exact total.
+        delta = parent_counters.delta(counters_before)
+        point_checks, segment_checks = delta.point_checks, delta.segment_checks
     return PlanReport(
-        request=request, workload=None, result=None, pool=pool, roadmap=merged
+        request=request,
+        workload=None,
+        result=None,
+        pool=pool,
+        roadmap=merged,
+        local_stats=stats,
+        local_counters=(point_checks, segment_checks),
     )

@@ -35,6 +35,7 @@ import platform
 import sys
 import time
 from dataclasses import asdict
+from functools import partial
 
 import numpy as np
 
@@ -67,6 +68,8 @@ SCALES = {
         "kernel_lp_pairs": 300, "kernel_prm_samples": 250, "kernel_prm_queries": 20,
         "bvh_sizes": [300, 2000], "bvh_prm_obstacles": 500, "bvh_prm_samples": 150,
         "incnn_sizes": [500, 2000], "incnn_rrt_nodes": 300, "incnn_stream_points": 2000,
+        "dispatch_tiny": 48, "dispatch_big": 2, "dispatch_big_s": 0.005,
+        "shm_obstacles": 2000, "shm_regions": 8, "shm_samples": 3,
     },
     "medium": {
         "prm_samples": 2000, "lp_pairs": 4000, "knn_points": 4000, "pool_tasks": 64,
@@ -79,6 +82,8 @@ SCALES = {
         "bvh_sizes": [1000, 10000, 100000], "bvh_prm_obstacles": 3000, "bvh_prm_samples": 500,
         "incnn_sizes": [2000, 8000, 20000], "incnn_rrt_nodes": 20000,
         "incnn_stream_points": 20000,
+        "dispatch_tiny": 256, "dispatch_big": 4, "dispatch_big_s": 0.02,
+        "shm_obstacles": 20000, "shm_regions": 16, "shm_samples": 3,
     },
 }
 
@@ -479,8 +484,9 @@ def bench_pool_scaling(params: dict) -> dict:
     """
     tasks = list(range(params["pool_tasks"]))
     times = {}
+    last_pool = None
     for workers in (1, 2, 4):
-        wall, _ = _best_of(
+        wall, last_pool = _best_of(
             params["repeats"],
             lambda w=workers: run_tasks_parallel(_pool_task, tasks, workers=w, backend="thread"),
         )
@@ -490,11 +496,208 @@ def bench_pool_scaling(params: dict) -> dict:
     # signal — report null there so diffs against multi-core baselines
     # don't flag it.
     speedup = times["1"] / times["4"] if cpu_count is not None and cpu_count > 1 else None
+    d = last_pool.dispatch
     return {
         "n_tasks": len(tasks),
         "cpu_count": cpu_count,
         "wall_s_by_workers": times,
         "speedup_4w": speedup,
+        "_meta_extra": {
+            "chunk_policy": d.chunk_policy,
+            "chunks_issued": d.chunks_issued,
+            "bytes_shipped": d.context_bytes + d.task_bytes,
+        },
+    }
+
+
+def _skew_task(big_ids: frozenset, big_s: float, tid: int) -> int:
+    """A task stream with a heavy tail: most ids return immediately, the
+    few in ``big_ids`` sleep (releasing the GIL, so thread workers overlap
+    them).  Module level so the process backend could pickle it too."""
+    if tid in big_ids:
+        time.sleep(big_s)
+    return tid * 3 + 1
+
+
+def bench_pool_dispatch_overhead(params: dict) -> dict:
+    """Chunk policies on a skewed tiny-task workload: a long run of
+    near-zero tasks with a few heavy ones at the tail.
+
+    Fixed chunking faces a dilemma this shape makes stark: big chunks
+    clump the heavy tail onto one worker (serialising it), chunksize=1
+    pays one pool submission per tiny task.  The "guided" policy starts
+    with large chunks and decays to singletons, so the tail is balanced
+    AND dispatch count stays low — at medium scale it must beat the best
+    fixed setting.  Every policy's result dict is asserted identical to
+    the chunksize=1 oracle.
+    """
+    n_tiny, n_big = params["dispatch_tiny"], params["dispatch_big"]
+    big_s = params["dispatch_big_s"]
+    n = n_tiny + n_big
+    tasks = list(range(n))
+    big_ids = frozenset(range(n_tiny, n))
+    task = partial(_skew_task, big_ids, big_s)
+    workers = 4
+    weights = {tid: big_s if tid in big_ids else 1e-4 for tid in tasks}
+
+    oracle = run_tasks_parallel(task, tasks, workers=workers, backend="thread")
+    walls = {}
+    results_equal = True
+    guided_dispatch = None
+    sweep = [("fixed-1", 1, None), ("fixed-8", 8, None), ("fixed-32", 32, None),
+             ("fixed-64", 64, None), ("guided", "guided", None),
+             ("weighted", "weighted", weights)]
+    for label, cs, tw in sweep:
+        wall, pool = _best_of(
+            params["repeats"],
+            lambda c=cs, w=tw: run_tasks_parallel(
+                task, tasks, workers=workers, backend="thread", chunksize=c,
+                task_weights=w,
+            ),
+        )
+        walls[label] = wall
+        results_equal = results_equal and pool.results == oracle.results
+        if label == "guided":
+            guided_dispatch = pool.dispatch
+    if not results_equal:
+        raise AssertionError("chunk policies diverged from the chunksize=1 oracle")
+    fixed = {k: v for k, v in walls.items() if k.startswith("fixed")}
+    best_fixed = min(fixed, key=fixed.get)
+    return {
+        "n_tasks": n,
+        "n_big": n_big,
+        "big_task_s": big_s,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "wall_s_by_policy": walls,
+        "best_fixed": best_fixed,
+        "best_fixed_s": fixed[best_fixed],
+        "guided_s": walls["guided"],
+        "guided_vs_best_fixed": fixed[best_fixed] / walls["guided"],
+        "results_equal": results_equal,
+        "_meta_extra": {
+            "chunk_policy": "guided",
+            "chunks_issued": guided_dispatch.chunks_issued,
+            "bytes_shipped": guided_dispatch.context_bytes + guided_dispatch.task_bytes,
+        },
+    }
+
+
+def bench_prm_build_process_shm(params: dict) -> dict:
+    """Shared-memory vs pickled data plane for process-backend planning on
+    a large scene (a ``shelf_warehouse`` with 20k obstacles at medium),
+    under the bit-exact ``bvh`` kernel backend so context transfer — not
+    collision arithmetic — dominates the wall time.
+
+    Both planes run the identical plan; "pickle" serialises the whole
+    planning closure (environment included) and ships it to workers,
+    "shm" publishes the obstacle arrays once as a POSIX shared-memory
+    segment that workers map zero-copy and rebuild the closure from.
+    Merged edges, planner stats, and collision counters must be
+    bit-identical; at medium scale shm must be >= 1.5x faster.
+    """
+    from ..api import plan
+    from ..geometry.scenarios import shelf_warehouse
+    from ..spec import ExecutionPolicy, WorkloadSpec
+
+    n_obs = params["shm_obstacles"]
+    env = shelf_warehouse(n_obstacles=n_obs, seed=_SEED)
+
+    def run(plane: str):
+        wl = WorkloadSpec(
+            environment=env, planner="prm", num_regions=params["shm_regions"],
+            samples_per_region=params["shm_samples"], seed=_SEED,
+        )
+        # The bvh backend keeps per-check compute near O(log n), so the
+        # row measures context transfer rather than collision arithmetic
+        # (both planes run the identical bit-exact backend).
+        ex = ExecutionPolicy(
+            mode="local", backend="process", workers=2, data_plane=plane,
+            kernel_backend="bvh",
+        )
+        return plan(wl, execution=ex)
+
+    # Interleave the planes rather than timing one block after the other:
+    # machine-state drift (CPU frequency, a forked parent's heap growing
+    # over a long suite run) then lands on both sides of the ratio, and
+    # min-of-N recovers each plane's fast-phase time.
+    repeats = min(params["repeats"], 5)
+    before_s = after_s = float("inf")
+    ref = fast = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ref = run("pickle")
+        before_s = min(before_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fast = run("shm")
+        after_s = min(after_s, time.perf_counter() - t0)
+
+    edges_equal = sorted(ref.roadmap.edges()) == sorted(fast.roadmap.edges())
+    stats_equal = ref.planner_stats == fast.planner_stats
+    counters_equal = ref.local_counters == fast.local_counters
+    if not (edges_equal and stats_equal and counters_equal):
+        raise AssertionError("shm data plane diverged from the pickle plane")
+    d = fast.dispatch
+    return {
+        "environment": "shelf-warehouse",
+        "n_obstacles": n_obs,
+        "n_regions": params["shm_regions"],
+        "samples_per_region": params["shm_samples"],
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "edges_equal": edges_equal,
+        "stats_equal": stats_equal,
+        "counters_equal": counters_equal,
+        "pickle_context_bytes": ref.dispatch.context_bytes,
+        "shm_context_bytes": d.context_bytes,
+        "shm_segment_bytes": d.shm_bytes,
+        "shm_attaches": d.shm_attaches,
+        "_meta_extra": {
+            "chunk_policy": d.chunk_policy,
+            "chunks_issued": d.chunks_issued,
+            "bytes_shipped": d.context_bytes + d.task_bytes,
+        },
+    }
+
+
+def bench_query_batch_process_shm(params: dict) -> dict:
+    """Process-worker query serving through the shared-memory frozen
+    roadmap vs the pickled closure; answers asserted path-exact.  No
+    speedup floor — the interesting gate is parity plus the per-chunk
+    traffic collapse recorded in the meta."""
+    from ..spec import ExecutionPolicy
+
+    cs, rmap, queries = _query_setup(params)
+    eng = QueryEngine(cs, rmap, k=8)
+
+    def run(plane: str):
+        ex = ExecutionPolicy(
+            mode="local", backend="process", workers=2, data_plane=plane
+        )
+        return eng.solve_many(queries, execution=ex)
+
+    repeats = min(params["repeats"], 3)
+    before_s, ref = _best_of(repeats, lambda: run("pickle"))
+    after_s, fast = _best_of(repeats, lambda: run("shm"))
+    paths_equal = _query_results_equal(ref.results, fast.results)
+    if not paths_equal:
+        raise AssertionError("shm-plane query serving diverged from pickle plane")
+    d = fast.dispatch
+    return {
+        "n_vertices": params["query_vertices"],
+        "n_queries": len(queries),
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "paths_equal": paths_equal,
+        "shm_segment_bytes": d.shm_bytes,
+        "shm_attaches": d.shm_attaches,
+        "_meta_extra": {
+            "chunk_policy": d.chunk_policy,
+            "chunks_issued": d.chunks_issued,
+            "bytes_shipped": d.context_bytes + d.task_bytes,
+        },
     }
 
 
@@ -993,6 +1196,9 @@ _BENCHMARKS = {
     "prm_build_bvh": bench_prm_build_bvh,
     "rrt_nn_scaling": bench_rrt_nn_scaling,
     "rrt_build_incnn": bench_rrt_build_incnn,
+    "pool_dispatch_overhead": bench_pool_dispatch_overhead,
+    "prm_build_process_shm": bench_prm_build_process_shm,
+    "query_batch_process_shm": bench_query_batch_process_shm,
 }
 
 #: Keys every benchmark entry must carry for the file to be well-formed.
@@ -1017,6 +1223,15 @@ _REQUIRED_FIELDS = {
         "before_s", "after_s", "speedup", "edges_equal", "parents_equal",
         "counters_equal", "stats_equal_core", "nn_phase_speedup",
     ),
+    "pool_dispatch_overhead": (
+        "wall_s_by_policy", "best_fixed_s", "guided_s", "guided_vs_best_fixed",
+        "results_equal",
+    ),
+    "prm_build_process_shm": (
+        "before_s", "after_s", "speedup", "edges_equal", "stats_equal",
+        "counters_equal", "n_obstacles",
+    ),
+    "query_batch_process_shm": ("before_s", "after_s", "speedup", "paths_equal"),
 }
 
 #: Parity flags that must not be false in a well-formed kernel row.
@@ -1029,6 +1244,9 @@ _KERNEL_PARITY_FLAGS = {
     "prm_build_bvh": ("stats_equal", "counters_equal", "edges_equal"),
     "rrt_nn_scaling": ("neighbors_equal",),
     "rrt_build_incnn": ("edges_equal", "parents_equal", "counters_equal", "stats_equal_core"),
+    "pool_dispatch_overhead": ("results_equal",),
+    "prm_build_process_shm": ("edges_equal", "stats_equal", "counters_equal"),
+    "query_batch_process_shm": ("paths_equal",),
 }
 
 #: Medium-scale speedup floor for the fast32 microbenches: below this the
@@ -1045,6 +1263,14 @@ _BVH_SPEEDUP_FLOOR = 5.0
 #: that can't halve the brute scan's wall time there isn't earning its
 #: rebuild machinery.
 _INCNN_SPEEDUP_FLOOR = 2.0
+
+#: Medium-scale floor for the shared-memory data plane on the 10k-obstacle
+#: warehouse: if mapping the scene zero-copy can't beat re-pickling it to
+#: every worker by 1.5x, the plane isn't paying for its machinery.
+_SHM_SPEEDUP_FLOOR = 1.5
+
+#: Obstacle-count floor for the prm_build_process_shm scene at medium.
+_SHM_OBSTACLE_FLOOR = 10_000
 
 
 def run_suite(scale: str = "medium") -> dict:
@@ -1198,6 +1424,31 @@ def validate(payload: object) -> "list[str]":
             problems.append(
                 f"rrt_build_incnn NN-phase speedup {sp:.2f}x at n={npts} is "
                 f"below the {_INCNN_SPEEDUP_FLOOR}x incremental-NN floor"
+            )
+        shm_row = benches.get("prm_build_process_shm", {})
+        sp = shm_row.get("speedup")
+        n_obs = shm_row.get("n_obstacles")
+        if not isinstance(sp, (int, float)):
+            problems.append("prm_build_process_shm is missing speedup")
+        elif not (isinstance(n_obs, int) and n_obs >= _SHM_OBSTACLE_FLOOR):
+            problems.append(
+                f"prm_build_process_shm scene has {n_obs} obstacles, below "
+                f"the {_SHM_OBSTACLE_FLOOR} floor scale"
+            )
+        elif sp < _SHM_SPEEDUP_FLOOR:
+            problems.append(
+                f"prm_build_process_shm speedup {sp:.2f}x is below the "
+                f"{_SHM_SPEEDUP_FLOOR}x shared-memory data-plane floor"
+            )
+        disp = benches.get("pool_dispatch_overhead", {})
+        ratio = disp.get("guided_vs_best_fixed")
+        if not isinstance(ratio, (int, float)):
+            problems.append("pool_dispatch_overhead is missing guided_vs_best_fixed")
+        elif ratio <= 1.0:
+            problems.append(
+                f"pool_dispatch_overhead: guided is {ratio:.2f}x the best "
+                f"fixed chunksize ({disp.get('best_fixed')}) — adaptive "
+                "chunking must win on the skewed workload"
             )
     # Serve rows are optional extras merged in by `python -m repro.bench
     # serve`; when present they must be well-formed and parity-clean.

@@ -85,12 +85,68 @@ class Environment:
         kernel_backend: str = "reference",
     ):
         self.bounds = bounds
-        self.obstacles: list[AABB] = list(obstacles or [])
+        self._obstacles: "list[AABB] | None" = list(obstacles or [])
         self.name = name
         self.counters = CollisionCounters()
         self._kernels = get_backend(kernel_backend)
+        self._kernel_backend_name = kernel_backend if isinstance(kernel_backend, str) else None
         self._kernel_data: "EnvKernelData | None" = None
         self._rebuild_arrays()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        bounds: AABB,
+        obs_lo: np.ndarray,
+        obs_hi: np.ndarray,
+        name: str = "env",
+        kernel_backend: str = "reference",
+    ) -> "Environment":
+        """Build an environment directly from stacked obstacle arrays.
+
+        The zero-copy constructor behind the shared-memory data plane:
+        ``obs_lo`` / ``obs_hi`` (shape ``(n, d)``) are adopted as the
+        collision arrays without materialising ``n`` Python :class:`AABB`
+        objects or re-stacking them — for 10k+ obstacle scenes that is
+        the dominant context-deserialisation cost.  The ``obstacles``
+        list is built lazily on first access (collision queries never
+        need it).  Arrays may be read-only views (e.g. shared-memory
+        attachments); they are never written to.
+        """
+        obs_lo = np.ascontiguousarray(np.asarray(obs_lo, dtype=float))
+        obs_hi = np.ascontiguousarray(np.asarray(obs_hi, dtype=float))
+        if obs_lo.ndim != 2 or obs_lo.shape != obs_hi.shape:
+            raise ValueError(
+                f"obs_lo/obs_hi must be matching (n, d) arrays, got "
+                f"{obs_lo.shape} and {obs_hi.shape}"
+            )
+        if obs_lo.shape[1] != bounds.dim:
+            raise ValueError(
+                f"obstacle dim {obs_lo.shape[1]} != workspace dim {bounds.dim}"
+            )
+        env = cls.__new__(cls)
+        env.bounds = bounds
+        env._obstacles = None  # materialised lazily from the arrays
+        env.name = name
+        env.counters = CollisionCounters()
+        env._kernels = get_backend(kernel_backend)
+        env._kernel_backend_name = (
+            kernel_backend if isinstance(kernel_backend, str) else None
+        )
+        env._kernel_data = None
+        env._obs_lo = obs_lo
+        env._obs_hi = obs_hi
+        return env
+
+    @property
+    def obstacles(self) -> "list[AABB]":
+        """The obstacle list; materialised from the arrays on demand for
+        environments built via :meth:`from_arrays`."""
+        if self._obstacles is None:
+            self._obstacles = [
+                AABB(lo, hi) for lo, hi in zip(self._obs_lo, self._obs_hi)
+            ]
+        return self._obstacles
 
     def _rebuild_arrays(self) -> None:
         d = self.bounds.dim
@@ -119,6 +175,7 @@ class Environment:
     def set_kernel_backend(self, backend) -> None:
         """Set the default backend (a registry name or an instance)."""
         self._kernels = get_backend(backend)
+        self._kernel_backend_name = backend if isinstance(backend, str) else None
 
     def kernel_data(self) -> EnvKernelData:
         """The cached SoA obstacle snapshot, rebuilt lazily after mutation.
@@ -145,7 +202,9 @@ class Environment:
 
     @property
     def num_obstacles(self) -> int:
-        return len(self.obstacles)
+        # From the arrays, not the list: lazy ``from_arrays`` environments
+        # must not materialise obstacles just to be counted.
+        return int(self._obs_lo.shape[0])
 
     def obstacle_volume(self, within: AABB | None = None) -> float:
         """Total obstacle volume inside ``within`` (default: whole workspace).

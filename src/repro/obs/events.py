@@ -51,6 +51,9 @@ __all__ = [
     "EV_CACHE_EVICT",
     "EV_BATCH_FLUSH",
     "EV_REQUEST_REJECTED",
+    "EV_SHM_PUBLISH",
+    "EV_SHM_ATTACH",
+    "EV_POOL_DISPATCH",
 ]
 
 # -- event kinds -------------------------------------------------------------
@@ -99,6 +102,9 @@ EV_CACHE_MISS = "cache_miss"          # snapshot had to be built (attrs: key, co
 EV_CACHE_EVICT = "cache_evict"        # LRU eviction under memory budget (attrs: key, bytes)
 EV_BATCH_FLUSH = "batch_flush"        # coalescer flushed a batch (attrs: key, size, reason, waited)
 EV_REQUEST_REJECTED = "request_rejected"  # admission control turned a request away (attrs: queued)
+EV_SHM_PUBLISH = "shm_publish"        # snapshot published (attrs: label, segment, bytes, reused)
+EV_SHM_ATTACH = "shm_attach"          # worker mapped a segment (attrs: label, bytes, seconds, pid)
+EV_POOL_DISPATCH = "pool_dispatch"    # pool dispatch accounting (attrs: policy, chunks, tasks)
 
 
 @dataclass(frozen=True, slots=True)

@@ -17,11 +17,14 @@ from .events import (
     EV_CACHE_EVICT,
     EV_CACHE_HIT,
     EV_CACHE_MISS,
+    EV_POOL_DISPATCH,
     EV_QUERY_END,
     EV_QUERY_START,
     EV_REMOTE_ACCESS,
     EV_REQUEST_REJECTED,
     EV_REPARTITION_DECISION,
+    EV_SHM_ATTACH,
+    EV_SHM_PUBLISH,
     EV_STEAL_FAIL,
     EV_STEAL_REPLY,
     EV_STEAL_REQUEST,
@@ -87,6 +90,21 @@ class TraceSummary:
     #: flush reason ("full", "linger", "drain") -> count.
     flush_reasons: "dict[str, int]" = field(default_factory=dict)
     requests_rejected: int = 0
+    # -- dispatch / data plane ---------------------------------------------
+    pool_dispatches: int = 0
+    chunks_issued: int = 0
+    dispatch_tasks: int = 0
+    #: parent→worker serialisation traffic (pickled context + chunk args).
+    context_bytes: int = 0
+    task_bytes: int = 0
+    #: chunk policy label -> number of pool runs that used it.
+    chunk_policies: "dict[str, int]" = field(default_factory=dict)
+    shm_publishes: int = 0
+    shm_publish_reused: int = 0
+    shm_publish_bytes: int = 0
+    shm_attaches: int = 0
+    shm_attach_bytes: int = 0
+    shm_attach_s: float = 0.0
     # -- other point events ------------------------------------------------
     remote_accesses: int = 0
     repartition_decisions: "list[dict]" = field(default_factory=list)
@@ -205,6 +223,23 @@ def summarize_events(events: "list[Event]") -> TraceSummary:
             s.flush_reasons[reason] = s.flush_reasons.get(reason, 0) + 1
         elif ev.name == EV_REQUEST_REJECTED:
             s.requests_rejected += 1
+        elif ev.name == EV_POOL_DISPATCH:
+            s.pool_dispatches += 1
+            s.chunks_issued += int(ev.attrs.get("chunks", 0))
+            s.dispatch_tasks += int(ev.attrs.get("tasks", 0))
+            s.context_bytes += int(ev.attrs.get("context_bytes", 0))
+            s.task_bytes += int(ev.attrs.get("task_bytes", 0))
+            policy = str(ev.attrs.get("policy", "unknown"))
+            s.chunk_policies[policy] = s.chunk_policies.get(policy, 0) + 1
+        elif ev.name == EV_SHM_PUBLISH:
+            s.shm_publishes += 1
+            s.shm_publish_bytes += int(ev.attrs.get("bytes", 0))
+            if ev.attrs.get("reused"):
+                s.shm_publish_reused += 1
+        elif ev.name == EV_SHM_ATTACH:
+            s.shm_attaches += 1
+            s.shm_attach_bytes += int(ev.attrs.get("bytes", 0))
+            s.shm_attach_s += float(ev.attrs.get("seconds", 0.0))
         elif ev.name == EV_REMOTE_ACCESS:
             s.remote_accesses += int(ev.attrs.get("count", 1))
         elif ev.name == EV_REPARTITION_DECISION:
@@ -296,6 +331,29 @@ def format_summary(s: TraceSummary, planner_stats=None) -> str:
                 "Steal distribution (Fig. 9, percentiles by stolen count)",
                 format_table(["percentile", "stolen", "non-stolen"], steal_rows),
             ]
+    if s.pool_dispatches or s.shm_publishes or s.shm_attaches:
+        policies = ", ".join(
+            f"{p}×{n}" if n > 1 else p for p, n in sorted(s.chunk_policies.items())
+        ) or "-"
+        lines += [
+            "",
+            "Dispatch (data plane + chunking)",
+            format_table(
+                ["pool runs", "policy", "chunks", "tasks", "ctx bytes",
+                 "task bytes", "shm pub", "shm attach", "attach ms"],
+                [[
+                    s.pool_dispatches,
+                    policies,
+                    s.chunks_issued,
+                    s.dispatch_tasks,
+                    s.context_bytes,
+                    s.task_bytes,
+                    f"{s.shm_publishes} ({s.shm_publish_bytes} B)",
+                    f"{s.shm_attaches} ({s.shm_attach_bytes} B)",
+                    f"{s.shm_attach_s * 1e3:.2f}",
+                ]],
+            ),
+        ]
     if s.queries_executed:
         lines += [
             "",

@@ -10,8 +10,25 @@ from .faults import (
     TaskFailedError,
     WorkerCrash,
 )
-from .local_pool import FAILURE_POLICIES, PoolResult, run_tasks_parallel
+from .chunking import CHUNK_POLICIES, policy_label, resolve_chunks
+from .local_pool import (
+    FAILURE_POLICIES,
+    DispatchStats,
+    PoolResult,
+    resolve_workers,
+    run_tasks_parallel,
+)
 from .pgraph import AccessStats, PGraphView
+from .shm import (
+    ArraySpec,
+    SharedArrayManifest,
+    attach_arrays,
+    cleanup_stale,
+    leaked_segments,
+    publish_arrays,
+    release,
+    shm_available,
+)
 from .simulator import StealPolicy, WorkStealingSimulator, run_static_phase
 from .stats import PEStats, SimResult
 from .termination import TokenRingDetector, detection_delay, detection_delay_tree
@@ -27,8 +44,21 @@ __all__ = [
     "TaskFailedError",
     "WorkerCrash",
     "FAILURE_POLICIES",
+    "CHUNK_POLICIES",
+    "DispatchStats",
     "PoolResult",
+    "policy_label",
+    "resolve_chunks",
+    "resolve_workers",
     "run_tasks_parallel",
+    "ArraySpec",
+    "SharedArrayManifest",
+    "attach_arrays",
+    "cleanup_stale",
+    "leaked_segments",
+    "publish_arrays",
+    "release",
+    "shm_available",
     "AccessStats",
     "PGraphView",
     "StealPolicy",

@@ -19,6 +19,17 @@ For convenience a threads backend is also provided — with NumPy doing the
 heavy lifting inside collision checks, threads get real speedups despite
 the GIL.
 
+Dispatch granularity is a pluggable policy (:mod:`repro.runtime.chunking`):
+``chunksize`` accepts the historical fixed int, ``"guided"``
+self-scheduling (chunks decay as ``remaining / (2 * workers)``), or
+``"weighted"`` (equal-*weight* chunks from ``task_weights``).  Workers
+stamp true per-task start times (``time.perf_counter`` is a shared
+monotonic clock across fork on Linux), so traced ``task_start`` events are
+measured, not reconstructed.  Every run returns a :class:`DispatchStats`
+on ``PoolResult.dispatch`` accounting chunks issued, bytes shipped,
+ser-de time and shared-memory attaches — the observable cost of the data
+plane that :mod:`repro.runtime.shm` exists to shrink.
+
 Fault tolerance
 ---------------
 Regions are independent subproblems, so a failed or lost regional planner
@@ -50,6 +61,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
+import pickle
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -64,6 +76,8 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..obs.events import (
+    EV_POOL_DISPATCH,
+    EV_SHM_ATTACH,
     EV_TASK_ABANDONED,
     EV_TASK_END,
     EV_TASK_RETRY,
@@ -71,6 +85,8 @@ from ..obs.events import (
     EV_WORKER_DEATH,
 )
 from ..obs.tracer import active
+from . import shm as _shm
+from .chunking import policy_label, resolve_chunks, validate_chunksize
 from .faults import (
     FAULT_CRASH,
     FAULT_HANG,
@@ -84,9 +100,62 @@ from .faults import (
 if TYPE_CHECKING:
     from ..obs.tracer import Tracer
 
-__all__ = ["FAILURE_POLICIES", "PoolResult", "run_tasks_parallel"]
+__all__ = [
+    "FAILURE_POLICIES",
+    "DispatchStats",
+    "PoolResult",
+    "resolve_workers",
+    "run_tasks_parallel",
+]
 
 FAILURE_POLICIES = ("fail_fast", "retry", "degrade")
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Resolve a worker count: ``None`` means every core on this machine.
+
+    ``os.cpu_count()`` can itself return ``None`` on exotic platforms,
+    in which case one worker is the only safe answer.
+    """
+    if workers is None:
+        return os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(f"workers must be an int >= 1 or None, got {workers!r}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+@dataclass
+class DispatchStats:
+    """What one pool run shipped to its workers, and how.
+
+    ``context_bytes`` / ``task_bytes`` / ``serde_s`` are measured only
+    when the run opts in (``measure_serde=True``) on the process
+    backend — pickling purely to weigh it is not free, so the default
+    path stays zero-overhead.  The shm fields aggregate the worker-side
+    attach records piggybacked on chunk results.
+    """
+
+    #: effective policy label: ``fixed-N``, ``guided`` or ``weighted``.
+    chunk_policy: str = "fixed-1"
+    chunks_issued: int = 0
+    #: pickled size of the task callable (the shipped context), bytes.
+    context_bytes: int = 0
+    #: pickled size of all task-id submissions, bytes.
+    task_bytes: int = 0
+    #: dispatcher-side serialization time, seconds.
+    serde_s: float = 0.0
+    #: shm segments published for this run (filled by the caller).
+    shm_segments: int = 0
+    #: total bytes of those segments (filled by the caller).
+    shm_bytes: int = 0
+    #: worker-side segment mappings observed (first attach per worker).
+    shm_attaches: int = 0
+    #: worker-side attach-cache hits (segment already mapped).
+    shm_attach_cached: int = 0
+    #: cumulative worker-side attach time, seconds.
+    shm_attach_s: float = 0.0
 
 
 @dataclass
@@ -107,6 +176,8 @@ class PoolResult:
     retries: int = 0
     #: dead workers detected (process deaths, or modelled thread crashes).
     worker_deaths: int = 0
+    #: dispatch accounting: chunk policy, bytes shipped, shm attaches.
+    dispatch: DispatchStats = field(default_factory=DispatchStats)
 
     @property
     def complete(self) -> bool:
@@ -135,17 +206,27 @@ def _pool_init(fn: Callable[[int], object], injector: "FaultInjector | None" = N
 
 def _run_chunk(
     fn: Callable[[int], object], task_ids: "tuple[int, ...]"
-) -> "list[tuple[int, object, float]]":
-    return [(tid, *_one(fn, tid)) for tid in task_ids]
+) -> "tuple[list[tuple[int, object, float, float]], dict | None]":
+    """Run one chunk; rows are ``(task, value, duration, start_stamp)``.
+
+    ``start_stamp`` is the worker's own ``perf_counter`` at task start —
+    a true measurement (the clock is system-wide monotonic, shared with
+    the dispatcher), not a reconstruction.  The second element is the
+    worker's drained shm attach log, piggybacked for dispatch accounting.
+    """
+    rows = [(tid, *_one(fn, tid)) for tid in task_ids]
+    return rows, _shm.drain_attach_records()
 
 
-def _one(fn: Callable[[int], object], tid: int) -> "tuple[object, float]":
+def _one(fn: Callable[[int], object], tid: int) -> "tuple[object, float, float]":
     t0 = time.perf_counter()
     out = fn(tid)
-    return out, time.perf_counter() - t0
+    return out, time.perf_counter() - t0, t0
 
 
-def _run_chunk_shipped(task_ids: "tuple[int, ...]") -> "list[tuple[int, object, float]]":
+def _run_chunk_shipped(
+    task_ids: "tuple[int, ...]",
+) -> "tuple[list[tuple[int, object, float, float]], dict | None]":
     assert _WORKER_FN is not None, "worker initializer did not run"
     return _run_chunk(_WORKER_FN, task_ids)
 
@@ -155,17 +236,19 @@ def _run_attempts(
     entries: "tuple[tuple[int, int], ...]",
     injector: "FaultInjector | None",
     process_worker: bool,
-) -> "list[tuple[int, int, bool, object, float]]":
+) -> "tuple[list[tuple[int, int, bool, object, float, float]], dict | None]":
     """Run ``(task, attempt)`` entries, reporting per-task outcomes.
 
-    Returns ``(task, attempt, ok, payload, duration)`` rows where
-    ``payload`` is the result on success or a ``repr`` of the failure.
-    A crash fault kills the worker process outright (process backend) or
-    raises :class:`WorkerCrash` out of the chunk (thread backend) — in
-    both cases the dispatcher loses the whole chunk, exactly as it would
-    to a real worker death.
+    Returns ``(task, attempt, ok, payload, duration, start_stamp)`` rows
+    (plus the worker's drained shm attach log) where ``payload`` is the
+    result on success or a ``repr`` of the failure and ``start_stamp``
+    is the worker-side ``perf_counter`` at attempt start.  A crash fault
+    kills the worker process outright (process backend) or raises
+    :class:`WorkerCrash` out of the chunk (thread backend) — in both
+    cases the dispatcher loses the whole chunk, exactly as it would to
+    a real worker death.
     """
-    out: "list[tuple[int, int, bool, object, float]]" = []
+    out: "list[tuple[int, int, bool, object, float, float]]" = []
     for tid, attempt in entries:
         t0 = time.perf_counter()
         try:
@@ -188,15 +271,15 @@ def _run_attempts(
         except WorkerCrash:
             raise
         except Exception as exc:  # transient task failure: report, move on
-            out.append((tid, attempt, False, repr(exc), time.perf_counter() - t0))
+            out.append((tid, attempt, False, repr(exc), time.perf_counter() - t0, t0))
             continue
-        out.append((tid, attempt, True, value, time.perf_counter() - t0))
-    return out
+        out.append((tid, attempt, True, value, time.perf_counter() - t0, t0))
+    return out, _shm.drain_attach_records()
 
 
 def _run_attempts_shipped(
     entries: "tuple[tuple[int, int], ...]",
-) -> "list[tuple[int, int, bool, object, float]]":
+) -> "tuple[list[tuple[int, int, bool, object, float, float]], dict | None]":
     assert _WORKER_FN is not None, "worker initializer did not run"
     return _run_attempts(_WORKER_FN, entries, _WORKER_INJECTOR, process_worker=True)
 
@@ -204,10 +287,10 @@ def _run_attempts_shipped(
 def run_tasks_parallel(
     fn: Callable[[int], object],
     task_ids: "list[int]",
-    workers: int = 4,
+    workers: "int | None" = None,
     backend: str = "thread",
     window: int | None = None,
-    chunksize: int = 1,
+    chunksize: "int | str" = 1,
     tracer: "Tracer | None" = None,
     failure_policy: str = "fail_fast",
     max_retries: int = 2,
@@ -216,6 +299,8 @@ def run_tasks_parallel(
     backoff_jitter: float = 0.5,
     fault_injector: "FaultInjector | None" = None,
     retry_seed: int = 0,
+    task_weights: "dict[int, float] | None" = None,
+    measure_serde: bool = False,
 ) -> PoolResult:
     """Execute ``fn(task_id)`` for every task with dynamic dispatch.
 
@@ -225,25 +310,30 @@ def run_tasks_parallel(
         The regional work; must be picklable for the ``"process"`` backend
         (it is shipped once per worker via the pool initializer).
     workers:
-        Pool size.
+        Pool size; ``None`` (default) resolves to ``os.cpu_count()``.
+        The resolved value is surfaced on ``PoolResult.workers``.
     backend:
         ``"thread"`` (default; fine for NumPy-heavy work) or ``"process"``.
     window:
         Max in-flight submissions (default ``2 * workers``); bounds memory
         for huge task lists.
     chunksize:
-        Tasks per submission (default 1).  Larger chunks amortise dispatch
-        overhead when individual tasks are tiny, at the price of coarser
-        load balancing — the same trade the paper's distributed schedulers
-        make with region granularity.
+        Tasks per submission: a fixed int (default 1), or a policy name —
+        ``"guided"`` (self-scheduling decay: big chunks early to amortise
+        dispatch, single tasks at the tail for balance) or ``"weighted"``
+        (equal-weight chunks from ``task_weights``).  Larger chunks
+        amortise dispatch overhead when individual tasks are tiny, at the
+        price of coarser load balancing — the same trade the paper's
+        distributed schedulers make with region granularity; the policies
+        make it adaptive.  See :mod:`repro.runtime.chunking`.
     tracer:
         Optional :class:`repro.obs.Tracer`; emits wall-clock ``task_start``
-        / ``task_end`` point events (timestamps relative to pool start) and
-        a ``task_time`` histogram.  Starts are reconstructed from measured
-        durations on the dispatcher thread — tasks within a chunk are
-        assumed back-to-back.  Under fault tolerance it additionally emits
-        ``task_retry`` / ``task_abandoned`` / ``worker_death`` points.
-        ``None`` (default) emits nothing.
+        / ``task_end`` point events (timestamps relative to pool start,
+        measured from worker-side start stamps) and a ``task_time``
+        histogram, plus ``shm_attach`` points for worker segment mappings
+        and one ``pool_dispatch`` summary point.  Under fault tolerance it
+        additionally emits ``task_retry`` / ``task_abandoned`` /
+        ``worker_death`` points.  ``None`` (default) emits nothing.
     failure_policy:
         ``"fail_fast"`` (default), ``"retry"`` or ``"degrade"`` — see the
         module docstring.  With the default policy, no timeout and no
@@ -264,11 +354,17 @@ def run_tasks_parallel(
     fault_injector:
         Optional :class:`~repro.runtime.faults.FaultInjector` for chaos
         testing; ``None`` (default) costs nothing.
+    task_weights:
+        Optional per-task relative cost estimates (the partitioner's
+        region weights) consumed by the ``"weighted"`` chunk policy.
+    measure_serde:
+        When true (process backend), weigh the pickled context and task
+        submissions and time the pickling, reported on
+        ``PoolResult.dispatch``.  Off by default — measuring costs a
+        duplicate serialization pass.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if chunksize < 1:
-        raise ValueError("chunksize must be >= 1")
+    workers = resolve_workers(workers)
+    validate_chunksize(chunksize)
     if backend not in ("thread", "process"):
         raise ValueError("backend must be 'thread' or 'process'")
     if failure_policy not in FAILURE_POLICIES:
@@ -303,6 +399,8 @@ def run_tasks_parallel(
             backoff_jitter=backoff_jitter,
             fault_injector=fault_injector,
             retry_seed=retry_seed,
+            task_weights=task_weights,
+            measure_serde=measure_serde,
         )
     return _run_simple(
         fn,
@@ -312,7 +410,52 @@ def run_tasks_parallel(
         window=window,
         chunksize=chunksize,
         tracer=tracer,
+        task_weights=task_weights,
+        measure_serde=measure_serde,
     )
+
+
+def _weigh(obj: object, dispatch: DispatchStats) -> int:
+    """Pickle ``obj`` purely to weigh it, charging the time to ser-de."""
+    t0 = time.perf_counter()
+    n = len(pickle.dumps(obj))
+    dispatch.serde_s += time.perf_counter() - t0
+    return n
+
+
+def _absorb_shm(info: "dict | None", dispatch: DispatchStats, tr, ts: float) -> None:
+    """Fold one worker's piggybacked attach log into the run's accounting."""
+    if not info:
+        return
+    dispatch.shm_attach_cached += info.get("cached", 0)
+    for rec in info.get("attaches", ()):
+        dispatch.shm_attaches += 1
+        dispatch.shm_attach_s += rec.get("seconds", 0.0)
+        if tr is not None:
+            tr.point(
+                EV_SHM_ATTACH,
+                ts=ts,
+                label=rec.get("label"),
+                segment=rec.get("segment"),
+                bytes=rec.get("bytes", 0),
+                seconds=rec.get("seconds", 0.0),
+                pid=rec.get("pid"),
+            )
+
+
+def _finish_dispatch(dispatch: DispatchStats, tr, n_tasks: int, ts: float) -> None:
+    """Emit the run's one ``pool_dispatch`` summary point."""
+    if tr is not None:
+        tr.point(
+            EV_POOL_DISPATCH,
+            ts=ts,
+            policy=dispatch.chunk_policy,
+            chunks=dispatch.chunks_issued,
+            tasks=n_tasks,
+            context_bytes=dispatch.context_bytes,
+            task_bytes=dispatch.task_bytes,
+            shm_attaches=dispatch.shm_attaches,
+        )
 
 
 def _run_simple(
@@ -321,8 +464,10 @@ def _run_simple(
     workers: int,
     backend: str,
     window: int,
-    chunksize: int,
+    chunksize: "int | str",
     tracer: "Tracer | None",
+    task_weights: "dict[int, float] | None" = None,
+    measure_serde: bool = False,
 ) -> PoolResult:
     """The original fast path: no retry bookkeeping, no timeout checks."""
     tr = active(tracer)
@@ -330,14 +475,21 @@ def _run_simple(
     per_task: "dict[int, float]" = {}
     pending = set()
 
-    chunks = [tuple(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)]
+    chunks = resolve_chunks(tasks, chunksize, workers, task_weights)
+    dispatch = DispatchStats(chunk_policy=policy_label(chunksize), chunks_issued=len(chunks))
     it = iter(chunks)
+
+    measure = measure_serde and backend == "process"
+    if measure:
+        dispatch.context_bytes = _weigh(fn, dispatch)
 
     if backend == "process":
         pool = ProcessPoolExecutor(max_workers=workers, initializer=_pool_init, initargs=(fn,))
 
         def submit(chunk):
             """Ship the chunk to a process worker (fn sent at pool init)."""
+            if measure:
+                dispatch.task_bytes += _weigh(chunk, dispatch)
             return pool.submit(_run_chunk_shipped, chunk)
     else:
         pool = ThreadPoolExecutor(max_workers=workers)
@@ -357,37 +509,38 @@ def _run_simple(
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for fut in done:
-                chunk_out = fut.result()
+                chunk_out, shm_info = fut.result()
                 end_ts = time.perf_counter() - t0
-                _record_chunk(chunk_out, end_ts, results, per_task, tr)
+                _record_chunk(chunk_out, t0, results, per_task, tr)
+                _absorb_shm(shm_info, dispatch, tr, end_ts)
                 nxt = next(it, None)
                 if nxt is not None:
                     pending.add(submit(nxt))
     wall = time.perf_counter() - t0
+    _finish_dispatch(dispatch, tr, len(results), wall)
     if tr is not None:
         tr.metrics.gauge("pool_wall_time").set(wall)
         tr.metrics.counter("pool_tasks").inc(len(results))
     return PoolResult(
-        results, wall, per_task, workers, attempts=dict.fromkeys(results, 1)
+        results, wall, per_task, workers,
+        attempts=dict.fromkeys(results, 1), dispatch=dispatch,
     )
 
 
-def _record_chunk(chunk_out, end_ts, results, per_task, tr) -> None:
-    """Store a completed chunk's ``(task, value, duration)`` rows and emit
-    reconstructed task events: completion is observed on the dispatcher
-    thread, so per-task stamps walk the chunk backwards from its end."""
-    ts = end_ts
-    stamps = []
-    for task_id, out, dt in reversed(chunk_out):
-        stamps.append((task_id, max(ts - dt, 0.0), ts, dt))
-        ts -= dt
-    for task_id, out, dt in chunk_out:
+def _record_chunk(chunk_out, t0, results, per_task, tr) -> None:
+    """Store a completed chunk's ``(task, value, duration, start_stamp)``
+    rows and emit task events from the worker-measured start stamps —
+    ``perf_counter`` is a shared monotonic clock across dispatcher and
+    workers, so stamps translate to run-relative time by subtracting the
+    dispatcher's ``t0``."""
+    for task_id, out, dt, _start in chunk_out:
         results[task_id] = out
         per_task[task_id] = dt
     if tr is not None:
-        for task_id, start_ts, stop_ts, dt in reversed(stamps):
+        for task_id, _out, dt, start in chunk_out:
+            start_ts = max(start - t0, 0.0)
             tr.point(EV_TASK_START, ts=start_ts, task=task_id, cost=dt)
-            tr.point(EV_TASK_END, ts=stop_ts, task=task_id, cost=dt)
+            tr.point(EV_TASK_END, ts=start_ts + dt, task=task_id, cost=dt)
             tr.metrics.histogram("task_time").observe(dt)
 
 
@@ -423,6 +576,8 @@ def _run_resilient(
     backoff_jitter: float,
     fault_injector: "FaultInjector | None",
     retry_seed: int,
+    task_weights: "dict[int, float] | None" = None,
+    measure_serde: bool = False,
 ) -> PoolResult:
     """The fault-tolerant dispatcher: timeouts, retries, re-dispatch."""
     tr = active(tracer)
@@ -441,11 +596,11 @@ def _run_resilient(
     requeue: "list[tuple[int, int]]" = []
     in_flight: "dict[object, _Submission]" = {}
 
-    fresh = iter(
-        tuple(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)
-    )
+    fresh = iter(resolve_chunks(tasks, chunksize, workers, task_weights))
+    dispatch = DispatchStats(chunk_policy=policy_label(chunksize))
 
     process = backend == "process"
+    measure = measure_serde and process
     pool: "ProcessPoolExecutor | ThreadPoolExecutor"
 
     def make_pool():
@@ -459,6 +614,8 @@ def _run_resilient(
         return ThreadPoolExecutor(max_workers=workers)
 
     pool = make_pool()
+    if measure:
+        dispatch.context_bytes = _weigh((fn, fault_injector), dispatch)
     t0 = time.perf_counter()
 
     def now() -> float:
@@ -468,7 +625,10 @@ def _run_resilient(
     def submit(entries: "tuple[tuple[int, int], ...]") -> None:
         """Dispatch (task, attempt) entries to the pool and track them."""
         deadline = None if task_timeout is None else now() + task_timeout * len(entries)
+        dispatch.chunks_issued += 1
         if process:
+            if measure:
+                dispatch.task_bytes += _weigh(entries, dispatch)
             fut = pool.submit(_run_attempts_shipped, entries)
         else:
             fut = pool.submit(_run_attempts, fn, entries, fault_injector, False)
@@ -569,7 +729,7 @@ def _run_resilient(
     def handle(fut, sub: _Submission) -> None:
         """Absorb one finished future: record results, requeue failures."""
         try:
-            rows = fut.result()
+            rows, shm_info = fut.result()
         except BrokenExecutor:
             on_worker_death(sub, "process_died")
             return
@@ -578,17 +738,18 @@ def _run_resilient(
             return
         end_ts = now()
         ok_rows = []
-        for tid, attempt, ok, payload, dt in rows:
+        for tid, attempt, ok, payload, dt, start in rows:
             if tid not in unresolved:
                 continue
             if ok:
                 unresolved.discard(tid)
                 attempts[tid] = attempt + 1
-                ok_rows.append((tid, payload, dt))
+                ok_rows.append((tid, payload, dt, start))
             else:
                 fail_attempt(tid, attempt, payload)
         if ok_rows:
-            _record_chunk(ok_rows, end_ts, results, per_task, tr)
+            _record_chunk(ok_rows, t0, results, per_task, tr)
+        _absorb_shm(shm_info, dispatch, tr, end_ts)
 
     try:
         while unresolved:
@@ -632,6 +793,7 @@ def _run_resilient(
         pool.shutdown(wait=False, cancel_futures=True)
 
     wall = now()
+    _finish_dispatch(dispatch, tr, len(results), wall)
     if tr is not None:
         tr.metrics.gauge("pool_wall_time").set(wall)
         tr.metrics.counter("pool_tasks").inc(len(results))
@@ -650,4 +812,5 @@ def _run_resilient(
         abandoned=sorted(abandoned),
         retries=retries,
         worker_deaths=deaths,
+        dispatch=dispatch,
     )

@@ -67,6 +67,7 @@ _PLANNERS = ("prm", "rrt")
 _MODES = ("simulate", "local")
 _STRATEGIES = ("none", "repartition", "rand-8", "rand-k", "diffusive", "hybrid")
 _BACKENDS = ("thread", "process")
+_DATA_PLANES = ("auto", "shm", "pickle")
 
 
 def _environment_fingerprint(env: "str | object") -> bytes:
@@ -179,11 +180,21 @@ class ExecutionPolicy:
     num_pes: int = 16
     topology: "ClusterTopology | None" = None
     steal_chunk: "str | int" = "half"
-    #: local pool size (also QueryEngine batch dispatch width).
-    workers: int = 4
+    #: local pool size (also QueryEngine batch dispatch width); ``None``
+    #: resolves to ``os.cpu_count()`` at dispatch time.
+    workers: "int | None" = None
     backend: str = "thread"
-    #: tasks per submission (>1 amortises dispatch for tiny regions).
-    chunksize: int = 1
+    #: tasks per submission: an int (>1 amortises dispatch for tiny
+    #: regions) or a :mod:`repro.runtime.chunking` policy name —
+    #: ``"guided"`` (self-scheduling decay) or ``"weighted"`` (equal
+    #: estimated cost per chunk).
+    chunksize: "int | str" = 1
+    #: how the planning context crosses the process boundary:
+    #: ``"auto"`` (shared memory when the backend is ``"process"`` and
+    #: the platform supports it, else pickle), ``"shm"``, or
+    #: ``"pickle"`` (explicitly serialize the context once per worker).
+    #: Results are bit-identical across planes; only transport differs.
+    data_plane: str = "auto"
     #: compute-kernel backend for the collision/distance hot paths (a
     #: :mod:`repro.kernels` registry name — ``"fast32"`` for float32
     #: blocked compute, ``"bvh"`` for tree-culled queries on
@@ -211,12 +222,17 @@ class ExecutionPolicy:
             )
         if self.num_pes < 1:
             raise ValueError("num_pes must be >= 1")
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for os.cpu_count())")
         if self.backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
-        if self.chunksize < 1:
-            raise ValueError("chunksize must be >= 1")
+        from .runtime.chunking import validate_chunksize
+
+        validate_chunksize(self.chunksize)
+        if self.data_plane not in _DATA_PLANES:
+            raise ValueError(
+                f"data_plane must be one of {_DATA_PLANES}, got {self.data_plane!r}"
+            )
         if self.kernel_backend is not None:
             from .kernels import available_backends
             from .knn import available_nn_factories
